@@ -1,0 +1,59 @@
+"""Shared helpers for the pytest-benchmark suite.
+
+Every benchmark measures one (algorithm × workload) cell of a paper
+figure: the timed callable is the complete join — index construction
+included, as in the paper — and the paper's implementation-independent
+metrics (comparisons, memory model bytes, filtered objects, result pairs)
+are attached to ``benchmark.extra_info`` so they appear in the saved
+benchmark JSON alongside the timings.
+
+Scale selection: set ``REPRO_SCALE`` (smoke | small | medium | paper);
+the default is ``small``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import Scale, current_scale
+from repro.bench.runner import RunRecord, run_algorithm
+from repro.datasets.base import Dataset
+
+__all__ = ["SCALE", "bench_join"]
+
+SCALE: Scale = current_scale()
+
+#: RunRecord fields surfaced in benchmark extra_info.
+_EXTRA_FIELDS = (
+    "result_pairs",
+    "comparisons",
+    "node_tests",
+    "filtered",
+    "replicated_entries",
+    "memory_bytes",
+)
+
+
+def bench_join(
+    benchmark,
+    algorithm: str,
+    dataset_a: Dataset,
+    dataset_b: Dataset,
+    epsilon: float,
+    rounds: int = 1,
+    **overrides,
+) -> RunRecord:
+    """Benchmark one distance join and attach the paper's counters."""
+    records: list[RunRecord] = []
+
+    def run() -> RunRecord:
+        record = run_algorithm(algorithm, dataset_a, dataset_b, epsilon, **overrides)
+        records.append(record)
+        return record
+
+    benchmark.pedantic(run, rounds=rounds, iterations=1, warmup_rounds=0)
+    record = records[-1]
+    for field in _EXTRA_FIELDS:
+        benchmark.extra_info[field] = getattr(record, field)
+    benchmark.extra_info["n_a"] = record.n_a
+    benchmark.extra_info["n_b"] = record.n_b
+    benchmark.extra_info["epsilon"] = epsilon
+    return record

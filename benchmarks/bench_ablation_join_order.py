@@ -1,0 +1,41 @@
+"""Ablation — join order: build on the smaller or the larger dataset (§5.2.3).
+
+The paper's heuristic builds the tree on the smaller dataset ("the
+sparser the first dataset, the more objects of the second dataset may be
+filtered", and building is cheaper).  Both orders are measured on an
+asymmetric clustered pair.
+"""
+
+import pytest
+
+from _bench_utils import SCALE
+from repro.bench.runner import record_from_result
+from repro.bench.workloads import synthetic_pair
+from repro.core.distance_join import distance_join
+from repro.joins.registry import make_algorithm
+
+_N_B = SCALE.large_b_steps[-1]
+
+
+@pytest.mark.benchmark(group="ablation-join-order")
+@pytest.mark.parametrize("order", ("keep", "swap"), ids=("small-first", "large-first"))
+def test_join_order(benchmark, order):
+    dataset_a, dataset_b = synthetic_pair("clustered", SCALE.large_a, _N_B, SCALE)
+
+    def run():
+        result = distance_join(
+            dataset_a,
+            dataset_b,
+            SCALE.large_epsilon,
+            algorithm=make_algorithm("TOUCH"),
+            order=order,
+        )
+        return record_from_result(
+            result, dataset_a.name, len(dataset_a), len(dataset_b), SCALE.large_epsilon
+        )
+
+    record = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["order"] = "small-first" if order == "keep" else "large-first"
+    benchmark.extra_info["comparisons"] = record.comparisons
+    benchmark.extra_info["filtered"] = record.filtered
+    benchmark.extra_info["result_pairs"] = record.result_pairs

@@ -1,0 +1,46 @@
+"""Ablation — TOUCH's local-join kernel and grid cell size (§5.2.2).
+
+The paper motivates the grid local join and requires its cells to be
+"considerably larger than the average size of the objects".  This sweep
+replaces the kernel (grid / plane sweep / nested loop) and varies the
+cell-size factor; the grid kernel should dominate the nested kernel, and
+extreme cell sizes should hurt (tiny cells → replication, huge cells →
+pairwise comparisons).
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import synthetic_pair
+
+_N_B = SCALE.large_b_steps[len(SCALE.large_b_steps) // 2]
+
+
+@pytest.mark.benchmark(group="ablation-local-kernel")
+@pytest.mark.parametrize("kernel", ("grid", "sweep", "nested"))
+def test_local_kernel(benchmark, kernel):
+    dataset_a, dataset_b = synthetic_pair("uniform", SCALE.large_a, _N_B, SCALE)
+    bench_join(
+        benchmark,
+        "TOUCH",
+        dataset_a,
+        dataset_b,
+        SCALE.large_epsilon,
+        local_kernel=kernel,
+    )
+    benchmark.extra_info["local_kernel"] = kernel
+
+
+@pytest.mark.benchmark(group="ablation-cell-size")
+@pytest.mark.parametrize("factor", (1.0, 2.0, 4.0, 8.0, 16.0), ids=lambda f: f"x{f:g}")
+def test_cell_size_factor(benchmark, factor):
+    dataset_a, dataset_b = synthetic_pair("uniform", SCALE.large_a, _N_B, SCALE)
+    bench_join(
+        benchmark,
+        "TOUCH",
+        dataset_a,
+        dataset_b,
+        SCALE.large_epsilon,
+        cell_size_factor=factor,
+    )
+    benchmark.extra_info["cell_size_factor"] = factor

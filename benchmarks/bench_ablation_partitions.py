@@ -1,0 +1,28 @@
+"""Ablation — number of leaf partitions ``p`` (§5.2.1).
+
+The paper fixes p = 1024 after a parameter sweep.  This bench re-runs the
+sweep: more partitions give tighter leaf MBRs (fewer comparisons, better
+filtering) at the cost of a taller tree and a longer assignment phase.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import synthetic_pair
+
+_N_B = SCALE.large_b_steps[len(SCALE.large_b_steps) // 2]
+
+
+@pytest.mark.benchmark(group="ablation-partitions")
+@pytest.mark.parametrize("partitions", (64, 256, 1024, 4096), ids=lambda p: f"p{p}")
+def test_partitions(benchmark, partitions):
+    dataset_a, dataset_b = synthetic_pair("uniform", SCALE.large_a, _N_B, SCALE)
+    bench_join(
+        benchmark,
+        "TOUCH",
+        dataset_a,
+        dataset_b,
+        SCALE.large_epsilon,
+        num_partitions=partitions,
+    )
+    benchmark.extra_info["num_partitions"] = partitions

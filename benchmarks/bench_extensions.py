@@ -1,0 +1,23 @@
+"""Extensions shoot-out: the related-work algorithms vs TOUCH.
+
+Not a paper figure — the paper discusses the seeded tree (§2.2.2), the
+quadtree dual traversal (§2.2.1) and SSSJ (§2.2.3) without evaluating
+them.  This bench completes the picture on the Figure 9 workload so the
+reproduction shows where TOUCH stands against the *whole* related-work
+landscape, not only the paper's chosen competitors.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import synthetic_pair
+
+_N_B = SCALE.large_b_steps[len(SCALE.large_b_steps) // 2]
+_EXTENSIONS = ("SeededTree", "Quadtree", "SSSJ", "TOUCH")
+
+
+@pytest.mark.benchmark(group="extensions")
+@pytest.mark.parametrize("algorithm", _EXTENSIONS)
+def test_extensions(benchmark, algorithm):
+    dataset_a, dataset_b = synthetic_pair("uniform", SCALE.large_a, _N_B, SCALE)
+    bench_join(benchmark, algorithm, dataset_a, dataset_b, SCALE.large_epsilon)

@@ -1,0 +1,22 @@
+"""Figure 8 — small uniform datasets, all eight algorithms, ε = 10.
+
+The only figure that includes the quadratic nested loop and the plane
+sweep.  Paper shape: TOUCH and both PBSM configurations drastically
+outperform NL and PS in both comparisons and execution time, and
+execution time tracks the number of comparisons.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import FIG8_ALGORITHMS, synthetic_pair
+
+
+@pytest.mark.benchmark(group="fig8-small-uniform")
+@pytest.mark.parametrize("n_b", SCALE.fig8_b_steps, ids=lambda n: f"B{n}")
+@pytest.mark.parametrize("algorithm", FIG8_ALGORITHMS)
+def test_fig8(benchmark, algorithm, n_b):
+    dataset_a, dataset_b = synthetic_pair(
+        "uniform", SCALE.fig8_a, n_b, SCALE, space=SCALE.fig8_space
+    )
+    bench_join(benchmark, algorithm, dataset_a, dataset_b, SCALE.fig8_epsilon)

@@ -1,0 +1,20 @@
+"""Figure 9 — large uniform datasets, increasing |B|, ε = 5.
+
+Series: comparisons (9a), execution time (9b) and memory footprint (9c)
+for PBSM-500, PBSM-100, S3, INL, the synchronous R-Tree traversal and
+TOUCH.  Paper shape: TOUCH fastest; PBSM-500 consumes about two orders of
+magnitude more memory than everything else.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import LARGE_ALGORITHMS, synthetic_pair
+
+
+@pytest.mark.benchmark(group="fig9-large-uniform")
+@pytest.mark.parametrize("n_b", SCALE.large_b_steps, ids=lambda n: f"B{n}")
+@pytest.mark.parametrize("algorithm", LARGE_ALGORITHMS)
+def test_fig9(benchmark, algorithm, n_b):
+    dataset_a, dataset_b = synthetic_pair("uniform", SCALE.large_a, n_b, SCALE)
+    bench_join(benchmark, algorithm, dataset_a, dataset_b, SCALE.large_epsilon)

@@ -1,0 +1,19 @@
+"""Figure 10 — large Gaussian datasets, increasing |B|, ε = 5.
+
+Same series as Figure 9 on the highest-selectivity distribution.  Paper
+shape: every algorithm performs more comparisons and runs longer than on
+uniform data; memory is essentially unchanged.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import LARGE_ALGORITHMS, synthetic_pair
+
+
+@pytest.mark.benchmark(group="fig10-large-gaussian")
+@pytest.mark.parametrize("n_b", SCALE.large_b_steps, ids=lambda n: f"B{n}")
+@pytest.mark.parametrize("algorithm", LARGE_ALGORITHMS)
+def test_fig10(benchmark, algorithm, n_b):
+    dataset_a, dataset_b = synthetic_pair("gaussian", SCALE.large_a, n_b, SCALE)
+    bench_join(benchmark, algorithm, dataset_a, dataset_b, SCALE.large_epsilon)

@@ -1,0 +1,20 @@
+"""Figure 11 — large clustered datasets, increasing |B|, ε = 5.
+
+Same series as Figure 9 on skewed data.  Paper shape: S3's space-oriented
+partitioning degrades on clustered data (it falls behind INL here while
+leading it on uniform/Gaussian); TOUCH's data-oriented partitioning and
+filtering keep it fastest.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import LARGE_ALGORITHMS, synthetic_pair
+
+
+@pytest.mark.benchmark(group="fig11-large-clustered")
+@pytest.mark.parametrize("n_b", SCALE.large_b_steps, ids=lambda n: f"B{n}")
+@pytest.mark.parametrize("algorithm", LARGE_ALGORITHMS)
+def test_fig11(benchmark, algorithm, n_b):
+    dataset_a, dataset_b = synthetic_pair("clustered", SCALE.large_a, n_b, SCALE)
+    bench_join(benchmark, algorithm, dataset_a, dataset_b, SCALE.large_epsilon)

@@ -1,0 +1,23 @@
+"""Figure 12 — impact of doubling ε on execution time.
+
+Two equally sized datasets per distribution are joined with ε = 5 and
+ε = 10.  Paper shape: most approaches roughly double their execution time
+when ε doubles; both PBSM configurations grow *super-linearly* because a
+larger ε replicates more objects into more cells.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import LARGE_ALGORITHMS, LARGE_DISTRIBUTIONS, synthetic_pair
+
+
+@pytest.mark.benchmark(group="fig12-epsilon")
+@pytest.mark.parametrize("epsilon", SCALE.epsilons, ids=lambda e: f"eps{e:g}")
+@pytest.mark.parametrize("distribution", LARGE_DISTRIBUTIONS)
+@pytest.mark.parametrize("algorithm", LARGE_ALGORITHMS)
+def test_fig12(benchmark, algorithm, distribution, epsilon):
+    dataset_a, dataset_b = synthetic_pair(
+        distribution, SCALE.large_a, SCALE.large_a, SCALE
+    )
+    bench_join(benchmark, algorithm, dataset_a, dataset_b, epsilon)

@@ -1,0 +1,21 @@
+"""Figure 13 — TOUCH's filtering capability, ε = 5.
+
+Counts the objects of dataset B eliminated by the assignment phase
+(they overlap no tree-node MBR and can never join).  Paper shape: the
+less uniform the distribution, the more objects are filtered — clustered
+most, Gaussian some, uniform (nearly) none.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import LARGE_DISTRIBUTIONS, synthetic_pair
+
+
+@pytest.mark.benchmark(group="fig13-filtering")
+@pytest.mark.parametrize("n_b", SCALE.large_b_steps, ids=lambda n: f"B{n}")
+@pytest.mark.parametrize("distribution", LARGE_DISTRIBUTIONS)
+def test_fig13(benchmark, distribution, n_b):
+    dataset_a, dataset_b = synthetic_pair(distribution, SCALE.large_a, n_b, SCALE)
+    record = bench_join(benchmark, "TOUCH", dataset_a, dataset_b, SCALE.large_epsilon)
+    benchmark.extra_info["filtered_fraction"] = record.filtered / max(1, record.n_b)

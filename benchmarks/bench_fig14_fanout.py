@@ -1,0 +1,35 @@
+"""Figure 14 — impact of TOUCH's fanout on filtering and comparisons.
+
+Fanout sweep from 2 to 20 at fixed |A| and the largest |B| of the sweep,
+ε = 5.  Paper shape: a smaller fanout yields a taller tree, *more*
+filtered objects (14a; none on uniform data) and *fewer* comparisons
+(14b; ~1.5× fewer at fanout 2 than at fanout 20).
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import LARGE_DISTRIBUTIONS, synthetic_pair
+
+
+@pytest.mark.benchmark(group="fig14-fanout")
+@pytest.mark.parametrize("fanout", SCALE.fanout_sweep, ids=lambda f: f"fanout{f}")
+@pytest.mark.parametrize("distribution", LARGE_DISTRIBUTIONS)
+def test_fig14(benchmark, distribution, fanout):
+    dataset_a, dataset_b = synthetic_pair(
+        distribution, SCALE.large_a, SCALE.large_b_steps[-1], SCALE
+    )
+    # num_partitions=None applies Algorithm 2's literal rule (buckets of
+    # size `fanout`), which is what makes the fanout drive leaf-MBR size
+    # and hence the paper's filtering/comparison trends.
+    record = bench_join(
+        benchmark,
+        "TOUCH",
+        dataset_a,
+        dataset_b,
+        SCALE.large_epsilon,
+        fanout=fanout,
+        num_partitions=None,
+    )
+    benchmark.extra_info["fanout"] = fanout
+    benchmark.extra_info["filtered_fraction"] = record.filtered / max(1, record.n_b)

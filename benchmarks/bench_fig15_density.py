@@ -1,0 +1,29 @@
+"""Figure 15 — execution time on increasingly dense neuroscience data.
+
+Random subsets of the axon/dendrite model (20%..100%) emulate growing
+tissue density, ε = 5.  Paper shape at full density: TOUCH ~8× faster
+than PBSM-500 and ~50× faster than the best of S3 / R-Tree / INL, with an
+order of magnitude less memory than PBSM-500.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import LARGE_ALGORITHMS, neuro_pair
+from repro.datasets.neuroscience import density_subsets
+
+_SUBSETS = {
+    f"{fraction:.0%}": (fraction, subset_a, subset_b)
+    for fraction, subset_a, subset_b in density_subsets(
+        *neuro_pair(SCALE), fractions=SCALE.density_fractions, seed=SCALE.seed
+    )
+}
+
+
+@pytest.mark.benchmark(group="fig15-density")
+@pytest.mark.parametrize("percent", list(_SUBSETS), ids=str)
+@pytest.mark.parametrize("algorithm", LARGE_ALGORITHMS)
+def test_fig15(benchmark, algorithm, percent):
+    fraction, subset_a, subset_b = _SUBSETS[percent]
+    record = bench_join(benchmark, algorithm, subset_a, subset_b, SCALE.large_epsilon)
+    benchmark.extra_info["density_fraction"] = fraction

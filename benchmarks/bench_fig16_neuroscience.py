@@ -1,0 +1,23 @@
+"""Figure 16 — neuroscience datasets, ε ∈ {5, 10}.
+
+The axon × dendrite join of the touch-detection use case: execution time
+(16a), comparisons (16b) and memory (16c) for every approach.  Paper
+shape: TOUCH wins in time and memory; PBSM-500 is second-fastest but
+needs far more memory; TOUCH filters a double-digit percentage of the
+dendrites (26.58% at ε = 5, 21.23% at ε = 10) thanks to the dense-centre
+sparse-rim density profile.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import LARGE_ALGORITHMS, neuro_pair
+
+
+@pytest.mark.benchmark(group="fig16-neuroscience")
+@pytest.mark.parametrize("epsilon", SCALE.epsilons, ids=lambda e: f"eps{e:g}")
+@pytest.mark.parametrize("algorithm", LARGE_ALGORITHMS)
+def test_fig16(benchmark, algorithm, epsilon):
+    axons, dendrites = neuro_pair(SCALE)
+    record = bench_join(benchmark, algorithm, axons, dendrites, epsilon)
+    benchmark.extra_info["filtered_fraction"] = record.filtered / max(1, record.n_b)

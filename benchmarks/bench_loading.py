@@ -1,0 +1,32 @@
+"""§6.3 — loading the data vs joining it.
+
+The paper shows that reading the datasets into memory (≤ 2 s) is dwarfed
+by the spatial join itself (334-1512 s for PBSM-500), motivating work on
+the in-memory join.  Here the binary load of dataset B and the PBSM-500
+join are benchmarked side by side; the join must dominate at every |B|.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import synthetic_pair
+from repro.datasets.io import read_dataset, write_dataset
+
+
+@pytest.mark.benchmark(group="loading")
+@pytest.mark.parametrize("n_b", SCALE.large_b_steps, ids=lambda n: f"B{n}")
+def test_load_time(benchmark, tmp_path, n_b):
+    _, dataset_b = synthetic_pair("uniform", SCALE.large_a, n_b, SCALE)
+    path = tmp_path / f"b-{n_b}.bin"
+    write_dataset(dataset_b, path)
+
+    loaded = benchmark(read_dataset, path)
+    assert len(loaded) == n_b
+    benchmark.extra_info["n_b"] = n_b
+
+
+@pytest.mark.benchmark(group="loading")
+@pytest.mark.parametrize("n_b", SCALE.large_b_steps, ids=lambda n: f"B{n}")
+def test_join_time_pbsm500(benchmark, n_b):
+    dataset_a, dataset_b = synthetic_pair("uniform", SCALE.large_a, n_b, SCALE)
+    bench_join(benchmark, "PBSM-500", dataset_a, dataset_b, SCALE.large_epsilon)

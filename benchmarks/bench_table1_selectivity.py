@@ -1,0 +1,33 @@
+"""Table 1 — join selectivity of the datasets (×1e-6).
+
+Regenerates the paper's Table 1: the selectivity (result pairs divided by
+|A|·|B|, Equation 1) of the uniform / Gaussian / clustered synthetic
+pairs and of the neuroscience pair, for ε ∈ {5, 10}.
+
+Paper shape to reproduce: at fixed ε, Gaussian > clustered > uniform among
+the synthetic datasets; selectivity grows with ε for every dataset.
+"""
+
+import pytest
+
+from _bench_utils import SCALE, bench_join
+from repro.bench.workloads import LARGE_DISTRIBUTIONS, neuro_pair, synthetic_pair
+
+
+@pytest.mark.benchmark(group="table1-selectivity")
+@pytest.mark.parametrize("epsilon", SCALE.epsilons, ids=lambda e: f"eps{e:g}")
+@pytest.mark.parametrize("distribution", LARGE_DISTRIBUTIONS)
+def test_table1_synthetic(benchmark, distribution, epsilon):
+    dataset_a, dataset_b = synthetic_pair(
+        distribution, SCALE.table1_a, SCALE.table1_b, SCALE, space=SCALE.table1_space
+    )
+    record = bench_join(benchmark, "TOUCH", dataset_a, dataset_b, epsilon)
+    benchmark.extra_info["selectivity_e6"] = record.selectivity * 1e6
+
+
+@pytest.mark.benchmark(group="table1-selectivity")
+@pytest.mark.parametrize("epsilon", SCALE.epsilons, ids=lambda e: f"eps{e:g}")
+def test_table1_neuroscience(benchmark, epsilon):
+    axons, dendrites = neuro_pair(SCALE)
+    record = bench_join(benchmark, "TOUCH", axons, dendrites, epsilon)
+    benchmark.extra_info["selectivity_e6"] = record.selectivity * 1e6

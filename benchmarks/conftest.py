@@ -1,0 +1,10 @@
+"""pytest configuration for the benchmark suite.
+
+Makes the sibling ``_bench_utils`` module importable when pytest is
+invoked from the repository root (``pytest benchmarks/``).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

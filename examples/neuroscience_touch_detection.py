@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Touch detection: the paper's motivating neuroscience use case (§3).
+
+Builds a synthetic neural tissue model (axon and dendrite cylinders with a
+dense core and sparse rim, substituting the proprietary rat-brain data),
+then places synapses with the paper's rule: "a synapse is placed wherever
+a neuron's dendrite is within a certain distance of another neuron's
+axon".
+
+The pipeline is the full two-phase join:
+  1. filtering — TOUCH on ε-inflated MBRs (candidate pairs);
+  2. refinement — exact cylinder-to-cylinder distances.
+
+Run:  python examples/neuroscience_touch_detection.py
+"""
+
+from repro import distance_join, neuroscience_datasets
+from repro.core.refine import refine_pairs
+
+
+def main() -> None:
+    axons, dendrites = neuroscience_datasets(n_neurons=24, seed=7)
+    print("synthetic tissue model")
+    print(f"  axon cylinders    : {len(axons):,}")
+    print(f"  dendrite cylinders: {len(dendrites):,} "
+          f"(~{len(dendrites) / len(axons):.1f}x the axons, as in the paper)")
+
+    for epsilon in (5.0, 10.0):
+        # Phase 1: TOUCH filtering on inflated bounding boxes.
+        candidates = distance_join(axons, dendrites, epsilon, order="keep")
+        stats = candidates.stats
+        filtered_pct = 100.0 * stats.filtered / len(dendrites)
+
+        # Phase 2: refinement on the exact cylinder geometry.
+        synapses = refine_pairs(candidates.pairs, axons, dendrites, epsilon)
+
+        print(f"\ntouch detection with eps = {epsilon:g} um")
+        print(f"  candidate pairs (MBR filter): {len(candidates.pairs):,}")
+        print(f"  synapses after refinement   : {len(synapses):,}")
+        print(f"  dendrites filtered by TOUCH : {stats.filtered:,} ({filtered_pct:.1f}%)"
+              " — the dense-core/sparse-rim effect of Fig. 16")
+        print(f"  comparisons                 : {stats.comparisons:,}")
+        print(f"  join time                   : {stats.total_seconds:.3f}s")
+
+    # Show a few placed synapses with their exact distances.
+    candidates = distance_join(axons, dendrites, 5.0, order="keep")
+    synapses = refine_pairs(candidates.pairs, axons, dendrites, 5.0)
+    print("\nfirst synapse locations (axon id, dendrite id, distance um):")
+    for oid_a, oid_b in synapses[:5]:
+        distance = axons[oid_a].geometry.min_distance(dendrites[oid_b].geometry)
+        print(f"  axon {oid_a:5d}  dendrite {oid_b:5d}  d = {distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""TOUCH: in-memory spatial join by hierarchical data-oriented partitioning.
+
+A complete reproduction of Nobari et al., SIGMOD 2013: the TOUCH
+algorithm, every baseline of the paper's evaluation (nested loop, plane
+sweep, PBSM, S3, indexed nested loop, synchronous R-Tree traversal), the
+substrates they need (MBR geometry, STR/Hilbert bulk-loaded R-Trees,
+uniform hash grids), workload generators, and a benchmark harness that
+regenerates every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import TouchJoin, distance_join, uniform_boxes
+>>> a = uniform_boxes(1_000, seed=1)
+>>> b = uniform_boxes(5_000, seed=2)
+>>> result = distance_join(a, b, epsilon=10.0)
+>>> result.stats.comparisons < len(a) * len(b)
+True
+"""
+
+from repro.core import TouchJoin, distance_join, spatial_join
+from repro.datasets import (
+    Dataset,
+    clustered_boxes,
+    gaussian_boxes,
+    neuroscience_datasets,
+    uniform_boxes,
+)
+from repro.joins import (
+    ALGORITHMS,
+    IndexedNestedLoopJoin,
+    JoinResult,
+    NestedLoopJoin,
+    PBSMJoin,
+    PlaneSweepJoin,
+    RTreeSyncJoin,
+    S3Join,
+    SeededTreeJoin,
+    algorithm_names,
+    make_algorithm,
+)
+from repro.stats import JoinStatistics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TouchJoin",
+    "distance_join",
+    "spatial_join",
+    "Dataset",
+    "uniform_boxes",
+    "gaussian_boxes",
+    "clustered_boxes",
+    "neuroscience_datasets",
+    "JoinResult",
+    "JoinStatistics",
+    "NestedLoopJoin",
+    "PlaneSweepJoin",
+    "PBSMJoin",
+    "S3Join",
+    "IndexedNestedLoopJoin",
+    "RTreeSyncJoin",
+    "SeededTreeJoin",
+    "ALGORITHMS",
+    "algorithm_names",
+    "make_algorithm",
+    "__version__",
+]

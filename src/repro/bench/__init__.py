@@ -1,0 +1,21 @@
+"""Benchmark harness: scales, workloads, per-figure experiments, CLI."""
+
+from repro.bench.config import DEFAULT_SCALE, SCALES, Scale, current_scale
+from repro.bench.experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from repro.bench.reporting import format_table, print_experiment, save_json
+from repro.bench.runner import RunRecord, run_algorithm
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "DEFAULT_SCALE",
+    "current_scale",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "RunRecord",
+    "run_algorithm",
+    "format_table",
+    "print_experiment",
+    "save_json",
+]

@@ -1,0 +1,110 @@
+"""ASCII rendering of experiment series — the paper's figures, in text.
+
+The paper presents its evaluation as line charts (comparisons, execution
+time and memory versus |B|, often log-scale).  This module renders the
+same series from experiment rows as fixed-width ASCII charts so the CLI
+can reproduce the *figures*, not just the tables, without any plotting
+dependency:
+
+    repro-touch run fig9 --chart total_seconds
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.bench.reporting import summarize_series
+
+__all__ = ["render_chart", "chart_for_experiment"]
+
+_MARKERS = "ox+*#@%&$~"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def render_chart(
+    series: dict[str, list[tuple]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as an ASCII scatter/line chart.
+
+    Points with non-positive y are dropped in log mode.  Each series gets
+    a distinct marker; a legend is appended below the axes.
+    """
+    points: list[tuple[float, float, str]] = []
+    markers: dict[str, str] = {}
+    for index, (name, xy) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        markers[name] = marker
+        for x, y in xy:
+            if x is None or y is None:
+                continue
+            if log_y and y <= 0:
+                continue
+            points.append((float(x), float(y), marker))
+    if not points:
+        return "(no data to chart)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    if log_y:
+        y_values = [math.log10(y) for y in ys]
+    else:
+        y_values = ys
+    y_lo, y_hi = min(y_values), max(y_values)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    cells = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        column = int((x - x_lo) / x_span * (width - 1))
+        value = math.log10(y) if log_y else y
+        row = int((value - y_lo) / y_span * (height - 1))
+        cells[height - 1 - row][column] = marker
+
+    top_label = _format_tick(10**y_hi if log_y else y_hi)
+    bottom_label = _format_tick(10**y_lo if log_y else y_lo)
+    gutter = max(len(top_label), len(bottom_label))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(cells):
+        if row_index == 0:
+            label = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_axis = f"{_format_tick(x_lo)}{' ' * max(1, width - 12)}{_format_tick(x_hi)}"
+    lines.append(" " * (gutter + 2) + x_axis)
+    scale_note = "log10(y)" if log_y else "y"
+    legend = "   ".join(f"{marker}={name}" for name, marker in sorted(markers.items()))
+    lines.append(f"{' ' * (gutter + 2)}[{scale_note}]  {legend}")
+    return "\n".join(lines)
+
+
+def chart_for_experiment(
+    rows: Sequence[dict],
+    y_key: str = "total_seconds",
+    x_key: str = "n_b",
+    series_key: str = "algorithm",
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Convenience wrapper: group experiment rows, then render."""
+    series = summarize_series(rows, series_key, x_key, y_key)
+    return render_chart(series, log_y=log_y, title=title)

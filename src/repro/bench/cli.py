@@ -1,0 +1,111 @@
+"""Command-line harness: regenerate any table/figure of the paper.
+
+Usage::
+
+    repro-touch list
+    repro-touch run fig9 --scale small
+    repro-touch run table1 --json results/table1.json
+    repro-touch all --scale smoke --out-dir results/
+
+(Equivalently: ``python -m repro.bench.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.config import DEFAULT_SCALE, SCALES
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import print_experiment, save_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro-touch",
+        description="Regenerate the tables and figures of the TOUCH paper (SIGMOD'13).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and scales")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--scale", choices=sorted(SCALES), default=None)
+    run.add_argument("--json", type=Path, default=None, help="also write rows as JSON")
+    run.add_argument(
+        "--chart",
+        metavar="METRIC",
+        default=None,
+        help="also render an ASCII chart of METRIC vs |B| per algorithm "
+        "(e.g. total_seconds, comparisons, memory_bytes)",
+    )
+
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--scale", choices=sorted(SCALES), default=None)
+    everything.add_argument(
+        "--out-dir", type=Path, default=None, help="write one JSON per experiment"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print(f"scales: {', '.join(SCALES)} (default: {DEFAULT_SCALE}, env REPRO_SCALE)")
+    return 0
+
+
+def _cmd_run(
+    experiment: str,
+    scale: str | None,
+    json_path: Path | None,
+    chart_metric: str | None,
+) -> int:
+    result = run_experiment(experiment, scale)
+    print_experiment(result)
+    if chart_metric is not None:
+        from repro.bench.charts import chart_for_experiment
+
+        print(
+            chart_for_experiment(
+                result.rows,
+                y_key=chart_metric,
+                title=f"{result.title} — {chart_metric}",
+            )
+        )
+        print()
+    if json_path is not None:
+        save_json(result, json_path)
+        print(f"wrote {json_path}")
+    return 0
+
+
+def _cmd_all(scale: str | None, out_dir: Path | None) -> int:
+    for name in EXPERIMENTS:
+        result = run_experiment(name, scale)
+        print_experiment(result)
+        if out_dir is not None:
+            save_json(result, out_dir / f"{name}.json")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.scale, args.json, args.chart)
+    if args.command == "all":
+        return _cmd_all(args.scale, args.out_dir)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

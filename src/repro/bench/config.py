@@ -1,0 +1,158 @@
+"""Benchmark scales.
+
+The paper joins 160K–9.6M objects on a 2.7 GHz Opteron in C++; CPython
+needs smaller cardinalities to keep the full suite in benchmark-friendly
+time.  Each :class:`Scale` keeps the paper's *structure* — the same
+universe (1000 units per dimension), object sizes (sides uniform in
+[0, 1]), ε ∈ {5, 10}, the B : A ratios of every sweep — and scales the
+cardinalities by a constant factor (≈ 1/800 at the default ``small``
+scale).
+
+**Density preservation.**  The paper's qualitative results (who wins,
+filtering rates, the fanout trends, PBSM's replication blow-up) are all
+driven by the ratio between the ε-inflated object size and the
+inter-object spacing.  Scaling the cardinality down inside the original
+1000-unit universe would change that ratio by ~10× and invert several
+trends, so each scale also shrinks the universe edge to
+``1000 · (n / n_paper)^(1/3)``, keeping the paper's object density — and
+with it every size-driven effect — intact.  Grid-based algorithms are
+configured in *cell units* (scale-invariant), see
+:mod:`repro.joins.registry`.
+
+Select a scale with the ``REPRO_SCALE`` environment variable
+(``smoke`` | ``small`` | ``medium`` | ``paper``) or per call.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["Scale", "SCALES", "current_scale", "DEFAULT_SCALE"]
+
+DEFAULT_SCALE = "small"
+
+# The paper's reference cardinalities, used for density-preserving
+# universe scaling.
+PAPER_SPACE = 1000.0
+PAPER_LARGE_A = 1_600_000
+PAPER_FIG8_TOTAL = 10_000 + 640_000  # A plus the largest B of Figure 8
+PAPER_TABLE1_TOTAL = 160_000 + 1_600_000
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Cardinalities for every experiment at one scale.
+
+    Attributes mirror the paper's workloads:
+
+    - Figure 8 ("small datasets"): ``fig8_a`` fixed, B sweeps
+      ``fig8_b_steps`` (paper: 10K × 160K..640K, ε = 10).
+    - Figures 9-14 ("large datasets"): ``large_a`` fixed, B sweeps
+      ``large_b_steps`` (paper: 1.6M × 1.6M..9.6M, ε = 5).
+    - Neuroscience (Figures 15/16): ``neuro_neurons`` controls the
+      generated model size (axons ≈ half the dendrites, as in the paper's
+      644K × 1.285M subset).
+    - Table 1 selectivity: ``table1_a`` × ``table1_b`` (paper:
+      160K × 1600K).
+    """
+
+    name: str
+    fig8_a: int
+    fig8_b_steps: tuple[int, ...]
+    large_a: int
+    large_b_steps: tuple[int, ...]
+    table1_a: int
+    table1_b: int
+    neuro_neurons: int
+    density_fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+    epsilons: tuple[float, float] = (5.0, 10.0)
+    fanout_sweep: tuple[int, ...] = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+    seed: int = 20130622  # SIGMOD'13 opening day
+
+    @property
+    def fig8_epsilon(self) -> float:
+        """Figure 8 uses the larger ε (paper: 10)."""
+        return self.epsilons[1]
+
+    @property
+    def large_epsilon(self) -> float:
+        """Figures 9-11 and 13-15 use the smaller ε (paper: 5)."""
+        return self.epsilons[0]
+
+    # -- density-preserving universes ---------------------------------
+    @staticmethod
+    def _space_for(n_scaled: int, n_paper: int) -> float:
+        return PAPER_SPACE * (n_scaled / n_paper) ** (1.0 / 3.0)
+
+    @property
+    def large_space(self) -> float:
+        """Universe edge for the Figure 9-14 workloads (paper: 1000)."""
+        return self._space_for(self.large_a, PAPER_LARGE_A)
+
+    @property
+    def fig8_space(self) -> float:
+        """Universe edge for the Figure 8 workload."""
+        return self._space_for(self.fig8_a + self.fig8_b_steps[-1], PAPER_FIG8_TOTAL)
+
+    @property
+    def table1_space(self) -> float:
+        """Universe edge for the Table 1 workload."""
+        return self._space_for(self.table1_a + self.table1_b, PAPER_TABLE1_TOTAL)
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        fig8_a=120,
+        fig8_b_steps=(240, 480),
+        large_a=300,
+        large_b_steps=(300, 600),
+        table1_a=150,
+        table1_b=600,
+        neuro_neurons=6,
+        density_fractions=(0.5, 1.0),
+        fanout_sweep=(2, 8, 20),
+    ),
+    "small": Scale(
+        name="small",
+        fig8_a=500,
+        fig8_b_steps=(800, 1600, 2400, 3200),
+        large_a=2000,
+        large_b_steps=(2000, 4000, 6000, 8000, 10000, 12000),
+        table1_a=800,
+        table1_b=8000,
+        neuro_neurons=16,
+    ),
+    "medium": Scale(
+        name="medium",
+        fig8_a=2000,
+        fig8_b_steps=(3200, 6400, 9600, 12800),
+        large_a=8000,
+        large_b_steps=(8000, 16000, 24000, 32000, 40000, 48000),
+        table1_a=3200,
+        table1_b=32000,
+        neuro_neurons=60,
+    ),
+    "paper": Scale(
+        name="paper",
+        fig8_a=10_000,
+        fig8_b_steps=(160_000, 320_000, 480_000, 640_000),
+        large_a=1_600_000,
+        large_b_steps=(1_600_000, 3_200_000, 4_800_000, 6_400_000, 8_000_000, 9_600_000),
+        table1_a=160_000,
+        table1_b=1_600_000,
+        neuro_neurons=12_000,
+    ),
+}
+
+
+def current_scale(name: str | None = None) -> Scale:
+    """Resolve a scale by name, ``REPRO_SCALE``, or the default."""
+    resolved = name or os.environ.get("REPRO_SCALE", DEFAULT_SCALE)
+    try:
+        return SCALES[resolved]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {resolved!r}; known: {', '.join(SCALES)}"
+        ) from None

@@ -1,0 +1,131 @@
+"""Single-join runner shared by the CLI harness and the pytest benches.
+
+Runs one algorithm on one (A, B, ε) workload with the paper's conventions:
+dataset A (the smaller / "first" dataset) is the build side and is
+Minkowski-inflated by ε; index-construction time counts towards the total.
+The outcome is a flat :class:`RunRecord` convenient for tabulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.datasets.base import Dataset
+from repro.datasets.transform import inflate
+from repro.joins.base import JoinResult
+from repro.joins.registry import make_algorithm
+
+__all__ = ["RunRecord", "run_algorithm"]
+
+
+@dataclass
+class RunRecord:
+    """One algorithm × workload measurement."""
+
+    algorithm: str
+    dataset: str
+    n_a: int
+    n_b: int
+    epsilon: float
+    result_pairs: int
+    comparisons: int
+    node_tests: int
+    filtered: int
+    replicated_entries: int
+    duplicates_suppressed: int
+    memory_bytes: int
+    build_seconds: float
+    assign_seconds: float
+    join_seconds: float
+    total_seconds: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def selectivity(self) -> float:
+        """Equation 1 of the paper."""
+        if self.n_a == 0 or self.n_b == 0:
+            return 0.0
+        return self.result_pairs / (self.n_a * self.n_b)
+
+    def as_dict(self) -> dict:
+        out = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "n_a": self.n_a,
+            "n_b": self.n_b,
+            "epsilon": self.epsilon,
+            "result_pairs": self.result_pairs,
+            "selectivity": self.selectivity,
+            "comparisons": self.comparisons,
+            "node_tests": self.node_tests,
+            "filtered": self.filtered,
+            "replicated_entries": self.replicated_entries,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "memory_bytes": self.memory_bytes,
+            "build_seconds": self.build_seconds,
+            "assign_seconds": self.assign_seconds,
+            "join_seconds": self.join_seconds,
+            "total_seconds": self.total_seconds,
+        }
+        out.update(self.extra)
+        return out
+
+
+def record_from_result(
+    result: JoinResult,
+    dataset_name: str,
+    n_a: int,
+    n_b: int,
+    epsilon: float,
+) -> RunRecord:
+    """Flatten a :class:`JoinResult` into a :class:`RunRecord`."""
+    stats = result.stats
+    extra = {
+        key: value
+        for key, value in stats.extra.items()
+        if isinstance(value, (int, float, str))
+    }
+    return RunRecord(
+        algorithm=result.algorithm,
+        dataset=dataset_name,
+        n_a=n_a,
+        n_b=n_b,
+        epsilon=epsilon,
+        result_pairs=stats.result_pairs,
+        comparisons=stats.comparisons,
+        node_tests=stats.node_tests,
+        filtered=stats.filtered,
+        replicated_entries=stats.replicated_entries,
+        duplicates_suppressed=stats.duplicates_suppressed,
+        memory_bytes=stats.memory_bytes,
+        build_seconds=stats.build_seconds,
+        assign_seconds=stats.assign_seconds,
+        join_seconds=stats.join_seconds,
+        total_seconds=stats.total_seconds,
+        extra=extra,
+    )
+
+
+def run_algorithm(
+    algorithm_name: str,
+    dataset_a: Dataset | Sequence,
+    dataset_b: Dataset | Sequence,
+    epsilon: float,
+    **algorithm_overrides,
+) -> RunRecord:
+    """Execute one distance join per the paper's methodology.
+
+    The build side A is inflated by ε (the ε-reduction of §4); the probe
+    side B is joined as is.  ``algorithm_overrides`` are forwarded to the
+    registry factory (e.g. ``fanout=8`` for the fanout sweep).
+    """
+    algorithm = make_algorithm(algorithm_name, **algorithm_overrides)
+    build = (
+        inflate(dataset_a, epsilon)
+        if isinstance(dataset_a, Dataset)
+        else [obj.inflated(epsilon) for obj in dataset_a]
+    )
+    result = algorithm.join(build, dataset_b)
+    dataset_name = dataset_a.name if isinstance(dataset_a, Dataset) else "adhoc"
+    return record_from_result(result, dataset_name, len(dataset_a), len(dataset_b), epsilon)

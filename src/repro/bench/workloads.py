@@ -1,0 +1,69 @@
+"""Workload construction for the experiments, with per-process caching.
+
+Every experiment draws its datasets from here so that (a) the same seeds
+produce the same data across the CLI harness and the pytest benchmarks
+and (b) repeated calls within one process reuse the generated objects.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.bench.config import Scale
+from repro.datasets.base import Dataset
+from repro.datasets.neuroscience import NeuronModelGenerator
+from repro.datasets.synthetic import make_distribution
+
+__all__ = [
+    "synthetic_pair",
+    "neuro_pair",
+    "LARGE_DISTRIBUTIONS",
+    "FIG8_ALGORITHMS",
+    "LARGE_ALGORITHMS",
+]
+
+#: The three synthetic distributions of §6.2, in the paper's figure order.
+LARGE_DISTRIBUTIONS = ("uniform", "gaussian", "clustered")
+
+#: Figure 8 compares all approaches, including NL and PS.
+FIG8_ALGORITHMS = ("NL", "PS", "PBSM-500", "PBSM-100", "S3", "INL", "RTree", "TOUCH")
+
+#: Figures 9-12 and 15-16 "exclude the nested loop join and plane-sweep
+#: join" due to their execution time.
+LARGE_ALGORITHMS = ("PBSM-500", "PBSM-100", "S3", "INL", "RTree", "TOUCH")
+
+
+@lru_cache(maxsize=64)
+def _synthetic(distribution: str, n: int, seed: int, space: float) -> Dataset:
+    return make_distribution(distribution, n, seed=seed, space=space)
+
+
+def synthetic_pair(
+    distribution: str,
+    n_a: int,
+    n_b: int,
+    scale: Scale,
+    space: float | None = None,
+) -> tuple[Dataset, Dataset]:
+    """Dataset pair of one distribution ("we always join datasets of the
+    same type only", §6.2) with scale-stable seeds.
+
+    ``space`` defaults to the scale's density-preserving universe for the
+    large (Figures 9-14) workloads.
+    """
+    if space is None:
+        space = scale.large_space
+    dataset_a = _synthetic(distribution, n_a, scale.seed, space)
+    dataset_b = _synthetic(distribution, n_b, scale.seed + 1, space)
+    return dataset_a, dataset_b
+
+
+@lru_cache(maxsize=8)
+def _neuro(n_neurons: int, seed: int) -> tuple[Dataset, Dataset]:
+    generator = NeuronModelGenerator(n_neurons=n_neurons, seed=seed)
+    return generator.generate()
+
+
+def neuro_pair(scale: Scale) -> tuple[Dataset, Dataset]:
+    """The (axons, dendrites) pair at the scale's model size."""
+    return _neuro(scale.neuro_neurons, scale.seed + 2)

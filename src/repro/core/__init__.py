@@ -1,0 +1,22 @@
+"""TOUCH core: the paper's contribution and the distance-join front end."""
+
+from repro.core.assignment import assign_dataset_b, locate_node
+from repro.core.distance_join import distance_join, inflate_dataset, spatial_join
+from repro.core.local_join import join_assigned_nodes
+from repro.core.refine import exact_distance, refine_pairs
+from repro.core.touch import TouchJoin
+from repro.core.tree import TouchNode, TouchTree
+
+__all__ = [
+    "TouchJoin",
+    "TouchTree",
+    "TouchNode",
+    "assign_dataset_b",
+    "locate_node",
+    "join_assigned_nodes",
+    "distance_join",
+    "spatial_join",
+    "inflate_dataset",
+    "exact_distance",
+    "refine_pairs",
+]

@@ -1,0 +1,37 @@
+"""Workload generators, dataset container and binary IO."""
+
+from repro.datasets.base import Dataset
+from repro.datasets.io import read_dataset, write_dataset
+from repro.datasets.neuroscience import (
+    NeuronModelGenerator,
+    density_subsets,
+    neuroscience_datasets,
+)
+from repro.datasets.synthetic import (
+    DISTRIBUTIONS,
+    SPACE_UNITS,
+    clustered_boxes,
+    gaussian_boxes,
+    make_distribution,
+    uniform_boxes,
+)
+from repro.datasets.transform import concat, inflate, reindexed, sample_fraction
+
+__all__ = [
+    "Dataset",
+    "uniform_boxes",
+    "gaussian_boxes",
+    "clustered_boxes",
+    "make_distribution",
+    "DISTRIBUTIONS",
+    "SPACE_UNITS",
+    "NeuronModelGenerator",
+    "neuroscience_datasets",
+    "density_subsets",
+    "read_dataset",
+    "write_dataset",
+    "sample_fraction",
+    "inflate",
+    "reindexed",
+    "concat",
+]

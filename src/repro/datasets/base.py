@@ -1,0 +1,89 @@
+"""Dataset container shared by generators, IO and the bench harness."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, overload
+
+from repro.geometry.mbr import MBR, total_mbr
+from repro.geometry.objects import SpatialObject
+
+__all__ = ["Dataset"]
+
+
+class Dataset(Sequence[SpatialObject]):
+    """An immutable sequence of spatial objects with provenance metadata.
+
+    Join algorithms accept any sequence of objects; :class:`Dataset` adds
+    the universe extent (needed by grid-based algorithms when a fixed
+    universe is desired), a human-readable name and generator metadata
+    used by the benchmark reports.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[SpatialObject],
+        name: str = "dataset",
+        universe: MBR | None = None,
+        metadata: dict | None = None,
+    ) -> None:
+        self._objects = list(objects)
+        self.name = name
+        self._universe = universe
+        self.metadata = dict(metadata or {})
+
+    # -- sequence protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    @overload
+    def __getitem__(self, index: int) -> SpatialObject: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "Dataset": ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Dataset(
+                self._objects[index],
+                name=self.name,
+                universe=self._universe,
+                metadata=self.metadata,
+            )
+        return self._objects[index]
+
+    def __iter__(self) -> Iterator[SpatialObject]:
+        return iter(self._objects)
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.name!r}, n={len(self._objects)})"
+
+    # -- spatial extent -----------------------------------------------------
+    @property
+    def universe(self) -> MBR:
+        """Declared universe, or the tight bound of the objects."""
+        if self._universe is None:
+            if not self._objects:
+                raise ValueError(f"dataset {self.name!r} is empty and has no universe")
+            self._universe = total_mbr(o.mbr for o in self._objects)
+        return self._universe
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the objects."""
+        if self._objects:
+            return self._objects[0].mbr.dim
+        return self.universe.dim
+
+    # -- derivation -----------------------------------------------------------
+    def renamed(self, name: str) -> "Dataset":
+        """Same objects under a different name."""
+        return Dataset(self._objects, name=name, universe=self._universe, metadata=self.metadata)
+
+    def take(self, n: int) -> "Dataset":
+        """First ``n`` objects (used by the density sweeps)."""
+        return Dataset(
+            self._objects[:n],
+            name=f"{self.name}[:{n}]",
+            universe=self._universe,
+            metadata=self.metadata,
+        )

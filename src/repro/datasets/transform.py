@@ -1,0 +1,53 @@
+"""Dataset transformations used by experiments and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.geometry.objects import SpatialObject
+
+__all__ = ["sample_fraction", "inflate", "reindexed", "concat"]
+
+
+def sample_fraction(dataset: Dataset, fraction: float, seed: int | None = None) -> Dataset:
+    """Uniform random subset with ``fraction`` of the objects (≥ 1)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    n = max(1, int(len(dataset) * fraction))
+    chosen = rng.choice(len(dataset), size=n, replace=False)
+    return Dataset(
+        [dataset[int(i)] for i in chosen],
+        name=f"{dataset.name}~{fraction:.0%}",
+        universe=dataset.universe,
+        metadata=dataset.metadata,
+    )
+
+
+def inflate(dataset: Dataset, epsilon: float) -> Dataset:
+    """Dataset with every MBR Minkowski-inflated by ``epsilon``."""
+    return Dataset(
+        [obj.inflated(epsilon) for obj in dataset],
+        name=f"{dataset.name}+eps{epsilon:g}",
+        universe=dataset.universe.expand(epsilon),
+        metadata={**dataset.metadata, "epsilon": epsilon},
+    )
+
+
+def reindexed(dataset: Dataset, start: int = 0) -> Dataset:
+    """Dataset with sequential oids starting at ``start``."""
+    objects = [
+        SpatialObject(start + i, obj.mbr, obj.geometry) for i, obj in enumerate(dataset)
+    ]
+    return Dataset(objects, name=dataset.name, universe=dataset._universe, metadata=dataset.metadata)
+
+
+def concat(first: Dataset, second: Dataset, name: str | None = None) -> Dataset:
+    """Concatenate two datasets (oids are *not* reassigned)."""
+    return Dataset(
+        list(first) + list(second),
+        name=name or f"{first.name}+{second.name}",
+        universe=first.universe.union(second.universe),
+        metadata={"parts": [first.name, second.name]},
+    )

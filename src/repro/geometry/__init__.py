@@ -1,0 +1,31 @@
+"""Geometric primitives: MBRs, spatial objects and exact distances."""
+
+from repro.geometry.distance import (
+    Box,
+    Cylinder,
+    point_distance,
+    point_segment_distance,
+    segment_distance,
+)
+from repro.geometry.mbr import MBR, mbr_of_points, total_mbr
+from repro.geometry.objects import (
+    SpatialObject,
+    box_object,
+    objects_from_mbrs,
+    point_object,
+)
+
+__all__ = [
+    "MBR",
+    "mbr_of_points",
+    "total_mbr",
+    "SpatialObject",
+    "box_object",
+    "point_object",
+    "objects_from_mbrs",
+    "Box",
+    "Cylinder",
+    "point_distance",
+    "point_segment_distance",
+    "segment_distance",
+]

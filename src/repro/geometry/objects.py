@@ -1,0 +1,75 @@
+"""Spatial objects: the unit joined by every algorithm in this library.
+
+A :class:`SpatialObject` carries a numeric identifier, an MBR used by the
+filtering phase, and an optional exact geometry (e.g. a
+:class:`~repro.geometry.distance.Cylinder`) consumed by the refinement
+phase.  Join algorithms only ever look at ``oid`` and ``mbr``; refinement
+looks at ``geometry``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.geometry.mbr import MBR
+
+__all__ = ["SpatialObject", "box_object", "point_object", "objects_from_mbrs"]
+
+
+class SpatialObject:
+    """A spatial object participating in a join.
+
+    Parameters
+    ----------
+    oid:
+        Identifier, unique within its dataset.  Result pairs are reported
+        as ``(oid_a, oid_b)`` tuples.
+    mbr:
+        Minimum bounding rectangle used by the filtering phase.
+    geometry:
+        Optional exact shape for the refinement phase.  Any object with a
+        ``min_distance(other) -> float`` method qualifies.
+    """
+
+    __slots__ = ("oid", "mbr", "geometry")
+
+    def __init__(self, oid: int, mbr: MBR, geometry: object | None = None) -> None:
+        self.oid = oid
+        self.mbr = mbr
+        self.geometry = geometry
+
+    def __repr__(self) -> str:
+        return f"SpatialObject(oid={self.oid}, mbr={self.mbr!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpatialObject):
+            return NotImplemented
+        return self.oid == other.oid and self.mbr == other.mbr
+
+    def __hash__(self) -> int:
+        return hash((self.oid, self.mbr))
+
+    def inflated(self, epsilon: float) -> "SpatialObject":
+        """Copy of this object with its MBR Minkowski-inflated by ``epsilon``.
+
+        The exact geometry is carried over unchanged: refinement evaluates
+        the original shape against the distance threshold directly.
+        """
+        if epsilon == 0:
+            return self
+        return SpatialObject(self.oid, self.mbr.expand(epsilon), self.geometry)
+
+
+def box_object(oid: int, lo: Sequence[float], hi: Sequence[float]) -> SpatialObject:
+    """Convenience constructor for a box-shaped object."""
+    return SpatialObject(oid, MBR(lo, hi))
+
+
+def point_object(oid: int, point: Sequence[float]) -> SpatialObject:
+    """Convenience constructor for a degenerate (point) object."""
+    return SpatialObject(oid, MBR(point, point))
+
+
+def objects_from_mbrs(mbrs: Iterable[MBR], start_oid: int = 0) -> list[SpatialObject]:
+    """Wrap raw MBRs into objects with sequential identifiers."""
+    return [SpatialObject(start_oid + i, mbr) for i, mbr in enumerate(mbrs)]

@@ -1,0 +1,5 @@
+"""Space-oriented partitioning substrate (uniform hash grid)."""
+
+from repro.grid.uniform import UniformGrid
+
+__all__ = ["UniformGrid"]

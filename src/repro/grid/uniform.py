@@ -1,0 +1,184 @@
+"""Uniform hash grid: the space-oriented partitioning substrate.
+
+PBSM partitions the whole universe with a uniform grid; S3 keeps a
+hierarchy of them; TOUCH's local join phase (Algorithm 4) builds one per
+inner node.  Because at realistic resolutions (500 cells per dimension in
+3D is 1.25 · 10^8 cells) almost all cells are empty, the grid is stored as
+a hash map from integer cell coordinates to the list of object references
+assigned to the cell.
+
+The grid also implements the *reference-point* deduplication rule
+(Dittrich & Seeger): a pair of objects replicated into several common
+cells is reported only in the cell that contains the minimum corner of the
+intersection of their MBRs, so no result-set deduplication pass (and no
+extra memory) is needed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.geometry.mbr import MBR
+from repro.stats import memory as memmodel
+
+__all__ = ["UniformGrid"]
+
+
+class UniformGrid:
+    """A uniform grid over ``universe`` stored sparsely as a hash map.
+
+    Exactly one of ``resolution`` and ``cell_size`` must be given:
+
+    - ``resolution``: number of cells per dimension (an int, or one int
+      per dimension), as in "PBSM-500";
+    - ``cell_size``: target edge length of a cell (a float, or one per
+      dimension), as used by TOUCH's local join where the cell must be
+      "considerably larger than the average size of the objects".
+
+    Degenerate universe extents (zero width in some dimension) collapse to
+    a single cell in that dimension.
+    """
+
+    def __init__(
+        self,
+        universe: MBR,
+        resolution: int | Sequence[int] | None = None,
+        cell_size: float | Sequence[float] | None = None,
+    ) -> None:
+        if (resolution is None) == (cell_size is None):
+            raise ValueError("specify exactly one of resolution or cell_size")
+        dim = universe.dim
+        extents = universe.side_lengths()
+
+        if resolution is not None:
+            if isinstance(resolution, int):
+                resolution = (resolution,) * dim
+            resolution = tuple(int(r) for r in resolution)
+            if len(resolution) != dim:
+                raise ValueError("resolution dimensionality mismatch")
+            if any(r < 1 for r in resolution):
+                raise ValueError(f"resolution must be >= 1 per dimension, got {resolution}")
+        else:
+            if isinstance(cell_size, (int, float)):
+                cell_size = (float(cell_size),) * dim
+            cell_size = tuple(float(s) for s in cell_size)
+            if len(cell_size) != dim:
+                raise ValueError("cell_size dimensionality mismatch")
+            if any(s <= 0 for s in cell_size):
+                raise ValueError(f"cell_size must be positive, got {cell_size}")
+            resolution = tuple(
+                max(1, math.ceil(extent / size)) for extent, size in zip(extents, cell_size)
+            )
+
+        self.universe = universe
+        self.resolution = resolution
+        self.cell_size = tuple(
+            extent / res if extent > 0 else 0.0 for extent, res in zip(extents, resolution)
+        )
+        self._cells: dict[tuple[int, ...], list] = {}
+        self._reference_count = 0
+
+    # -- coordinate mathematics ---------------------------------------
+    def _axis_index(self, d: int, coordinate: float) -> int:
+        """Clamped cell index of ``coordinate`` along dimension ``d``."""
+        size = self.cell_size[d]
+        if size == 0.0:
+            return 0
+        raw = int((coordinate - self.universe.lo[d]) / size)
+        if raw < 0:
+            return 0
+        last = self.resolution[d] - 1
+        return last if raw > last else raw
+
+    def cell_of_point(self, point: Sequence[float]) -> tuple[int, ...]:
+        """Cell coordinates containing ``point`` (clamped to the grid)."""
+        return tuple(self._axis_index(d, c) for d, c in enumerate(point))
+
+    def index_ranges(self, mbr: MBR) -> tuple[tuple[int, int], ...]:
+        """Inclusive ``(lo, hi)`` cell-index range per dimension for ``mbr``."""
+        return tuple(
+            (self._axis_index(d, lo_c), self._axis_index(d, hi_c))
+            for d, (lo_c, hi_c) in enumerate(zip(mbr.lo, mbr.hi))
+        )
+
+    def cells_overlapping(self, mbr: MBR) -> Iterator[tuple[int, ...]]:
+        """Yield the coordinates of every cell that ``mbr`` overlaps."""
+        ranges = self.index_ranges(mbr)
+        return itertools.product(*(range(lo, hi + 1) for lo, hi in ranges))
+
+    def cell_count_for(self, mbr: MBR) -> int:
+        """Number of cells ``mbr`` overlaps (without materialising them)."""
+        count = 1
+        for lo, hi in self.index_ranges(mbr):
+            count *= hi - lo + 1
+        return count
+
+    def cell_mbr(self, coords: Sequence[int]) -> MBR:
+        """The spatial region covered by cell ``coords``."""
+        lo = tuple(
+            self.universe.lo[d] + coords[d] * self.cell_size[d] for d in range(len(coords))
+        )
+        hi = tuple(
+            self.universe.lo[d] + (coords[d] + 1) * self.cell_size[d]
+            if self.cell_size[d] > 0
+            else self.universe.hi[d]
+            for d in range(len(coords))
+        )
+        return MBR(lo, hi)
+
+    # -- population -----------------------------------------------------
+    def insert(self, item: object, mbr: MBR) -> int:
+        """Assign ``item`` to every cell its ``mbr`` overlaps.
+
+        Returns the number of cells the item was stored in (1 means no
+        replication).  This is PBSM's *multiple assignment*.
+        """
+        cells = self._cells
+        count = 0
+        for coords in self.cells_overlapping(mbr):
+            bucket = cells.get(coords)
+            if bucket is None:
+                cells[coords] = [item]
+            else:
+                bucket.append(item)
+            count += 1
+        self._reference_count += count
+        return count
+
+    def items_in_cell(self, coords: tuple[int, ...]) -> list:
+        """Object references stored in cell ``coords`` (empty if none)."""
+        return self._cells.get(coords, [])
+
+    def non_empty_cells(self) -> Iterable[tuple[tuple[int, ...], list]]:
+        """Iterate over ``(coords, items)`` for every populated cell."""
+        return self._cells.items()
+
+    def __contains__(self, coords: Hashable) -> bool:
+        return coords in self._cells
+
+    def __len__(self) -> int:
+        """Number of non-empty cells."""
+        return len(self._cells)
+
+    @property
+    def reference_count(self) -> int:
+        """Total stored references (> object count means replication)."""
+        return self._reference_count
+
+    # -- deduplication ---------------------------------------------------
+    def owns_pair(self, coords: tuple[int, ...], mbr_a: MBR, mbr_b: MBR) -> bool:
+        """Reference-point rule: does cell ``coords`` own the pair?
+
+        The owning cell is the one containing the minimum corner of the
+        intersection of the two MBRs.  Calling this for an intersecting
+        pair in every common cell returns ``True`` exactly once.
+        """
+        reference = tuple(max(a, b) for a, b in zip(mbr_a.lo, mbr_b.lo))
+        return self.cell_of_point(reference) == tuple(coords)
+
+    # -- accounting ------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Analytic footprint: populated cells plus stored references."""
+        return memmodel.grid_cells_bytes(len(self._cells), self._reference_count)

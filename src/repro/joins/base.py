@@ -1,0 +1,122 @@
+"""Common interface of every spatial join algorithm in the library.
+
+All algorithms — the two in-memory baselines (nested loop, plane sweep),
+the four disk-era baselines used in memory (PBSM, S3, indexed nested loop,
+synchronous R-Tree traversal) and TOUCH itself — implement
+:class:`SpatialJoinAlgorithm` and produce a :class:`JoinResult` holding
+the intersecting ``(oid_a, oid_b)`` pairs plus a full
+:class:`~repro.stats.counters.JoinStatistics`.
+
+The contract, enforced by the test suite for every algorithm:
+
+- **complete**: every intersecting pair is reported;
+- **sound**: every reported pair intersects;
+- **duplicate-free**: each pair appears exactly once.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import ClassVar, Sequence
+
+from repro.geometry.objects import SpatialObject
+from repro.stats.counters import JoinStatistics
+
+__all__ = ["JoinResult", "SpatialJoinAlgorithm", "Pair"]
+
+Pair = tuple[int, int]
+
+
+class JoinResult:
+    """Outcome of a spatial join: result pairs plus statistics."""
+
+    __slots__ = ("algorithm", "pairs", "stats", "parameters")
+
+    def __init__(
+        self,
+        algorithm: str,
+        pairs: list[Pair],
+        stats: JoinStatistics,
+        parameters: dict | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.pairs = pairs
+        self.stats = stats
+        self.parameters = parameters or {}
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __repr__(self) -> str:
+        return (
+            f"JoinResult({self.algorithm}, pairs={len(self.pairs)}, "
+            f"comparisons={self.stats.comparisons})"
+        )
+
+    def pair_set(self) -> frozenset[Pair]:
+        """Canonical set view used for cross-algorithm validation."""
+        return frozenset(self.pairs)
+
+    def sorted_pairs(self) -> list[Pair]:
+        """Pairs in deterministic order."""
+        return sorted(self.pairs)
+
+    def selectivity(self, n_a: int, n_b: int) -> float:
+        """Join selectivity per the paper's Equation 1."""
+        if n_a == 0 or n_b == 0:
+            return 0.0
+        return len(self.pairs) / (n_a * n_b)
+
+
+class SpatialJoinAlgorithm(abc.ABC):
+    """Template for a two-way spatial intersection join.
+
+    Subclasses implement :meth:`_execute`; :meth:`join` wraps it with
+    end-to-end timing (the paper includes index-building time in every
+    reported execution time) and fills in the result-pair count.
+    """
+
+    #: Registry / display name, e.g. ``"TOUCH"`` or ``"PBSM"``.
+    name: ClassVar[str] = "abstract"
+
+    def join(
+        self,
+        dataset_a: Sequence[SpatialObject],
+        dataset_b: Sequence[SpatialObject],
+    ) -> JoinResult:
+        """Join two datasets and return pairs plus statistics."""
+        stats = JoinStatistics()
+        start = time.perf_counter()
+        pairs = self._execute(list(dataset_a), list(dataset_b), stats)
+        stats.total_seconds = time.perf_counter() - start
+        stats.result_pairs = len(pairs)
+        return JoinResult(self.name, pairs, stats, self.describe())
+
+    @abc.abstractmethod
+    def _execute(
+        self,
+        objects_a: list[SpatialObject],
+        objects_b: list[SpatialObject],
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        """Produce the duplicate-free list of intersecting oid pairs."""
+
+    def describe(self) -> dict:
+        """Algorithm parameters, for reports.  Subclasses extend this."""
+        return {}
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in self.describe().items())
+        return f"{type(self).__name__}({params})"
+
+
+def dimensionality(
+    objects_a: Sequence[SpatialObject], objects_b: Sequence[SpatialObject]
+) -> int:
+    """Common dimensionality of two (possibly empty) datasets."""
+    if objects_a:
+        return objects_a[0].mbr.dim
+    if objects_b:
+        return objects_b[0].mbr.dim
+    return 0

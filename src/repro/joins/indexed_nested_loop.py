@@ -1,0 +1,81 @@
+"""Indexed nested loop join (INL).
+
+Builds an R-Tree on dataset A and issues one range query per object of B
+(Elmasri & Navathe).  The paper observes that INL performs almost the same
+number of object comparisons as the synchronous traversal but is slower
+because every probe re-traverses the tree from the root — an effect that
+shows up here in the ``node_tests`` counter and the timing split.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.geometry.objects import SpatialObject
+from repro.joins.base import Pair, SpatialJoinAlgorithm
+from repro.rtree.rtree import PackingMethod, RTree
+from repro.stats.counters import JoinStatistics
+
+__all__ = ["IndexedNestedLoopJoin"]
+
+
+class IndexedNestedLoopJoin(SpatialJoinAlgorithm):
+    """R-Tree on A, one query per b ∈ B.
+
+    Parameters
+    ----------
+    fanout:
+        R-Tree fanout (paper's best configuration: 2).
+    leaf_capacity:
+        Objects per leaf; defaults to the fanout.
+    packing:
+        Bulk-loading method, ``"str"`` (paper) or ``"hilbert"``.
+    """
+
+    name = "INL"
+
+    def __init__(
+        self,
+        fanout: int = 2,
+        leaf_capacity: int | None = None,
+        packing: PackingMethod = "str",
+    ) -> None:
+        self.fanout = fanout
+        self.leaf_capacity = leaf_capacity
+        self.packing = packing
+
+    def describe(self) -> dict:
+        return {
+            "fanout": self.fanout,
+            "leaf_capacity": self.leaf_capacity or self.fanout,
+            "packing": self.packing,
+        }
+
+    def _execute(
+        self,
+        objects_a: list[SpatialObject],
+        objects_b: list[SpatialObject],
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        if not objects_a or not objects_b:
+            return []
+
+        build_start = time.perf_counter()
+        tree = RTree(
+            objects_a,
+            fanout=self.fanout,
+            leaf_capacity=self.leaf_capacity,
+            method=self.packing,
+        )
+        stats.build_seconds = time.perf_counter() - build_start
+
+        pairs: list[Pair] = []
+        join_start = time.perf_counter()
+        for b in objects_b:
+            b_oid = b.oid
+            for a in tree.query(b.mbr, stats):
+                pairs.append((a.oid, b_oid))
+        stats.join_seconds = time.perf_counter() - join_start
+
+        stats.memory_bytes = tree.memory_bytes()
+        return pairs

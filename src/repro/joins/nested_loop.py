@@ -1,0 +1,42 @@
+"""Nested loop join (NL) — the textbook O(|A|·|B|) baseline.
+
+The paper keeps it in the evaluation "because it is broadly used (as part
+of disk-based joins and otherwise)".  It needs no auxiliary structure, so
+its memory footprint is essentially zero, and it doubles as the ground
+truth for the correctness tests of every other algorithm.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.geometry.objects import SpatialObject
+from repro.joins.base import Pair, SpatialJoinAlgorithm
+from repro.joins.local import nested_loop_kernel
+from repro.stats.counters import JoinStatistics
+
+__all__ = ["NestedLoopJoin"]
+
+
+class NestedLoopJoin(SpatialJoinAlgorithm):
+    """Compare every object of A with every object of B."""
+
+    name = "NL"
+
+    def _execute(
+        self,
+        objects_a: list[SpatialObject],
+        objects_b: list[SpatialObject],
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        pairs: list[Pair] = []
+        join_start = time.perf_counter()
+        nested_loop_kernel(
+            objects_a,
+            objects_b,
+            stats,
+            emit=lambda a, b: pairs.append((a.oid, b.oid)),
+        )
+        stats.join_seconds = time.perf_counter() - join_start
+        stats.memory_bytes = 0  # no auxiliary structures
+        return pairs

@@ -1,0 +1,155 @@
+"""PBSM — Partition Based Spatial-Merge join (Patel & DeWitt).
+
+The paper's strongest baseline.  PBSM overlays the universe with a uniform
+grid and assigns every object to *all* cells it overlaps (multiple
+assignment).  Corresponding cell pairs are then joined locally.  Because
+objects are replicated, (a) more comparisons are performed, (b) the memory
+footprint grows with replication — the effect behind the paper's "two
+orders of magnitude more memory" for PBSM-500 — and (c) results must be
+deduplicated.
+
+Like the paper's implementation, deduplication happens *during* the join
+via the reference-point method (Dittrich & Seeger), so no additional
+result memory is needed.
+
+The two configurations the paper evaluates are ``PBSM(resolution=500)``
+(fast, memory-hungry) and ``PBSM(resolution=100)`` (slower, leaner).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.geometry.mbr import MBR, total_mbr
+from repro.geometry.objects import SpatialObject
+from repro.grid.uniform import UniformGrid
+from repro.joins.base import Pair, SpatialJoinAlgorithm
+from repro.joins.local import LOCAL_KERNELS
+from repro.stats.counters import JoinStatistics
+
+__all__ = ["PBSMJoin"]
+
+
+class PBSMJoin(SpatialJoinAlgorithm):
+    """Uniform-grid multiple-assignment join.
+
+    Parameters
+    ----------
+    resolution:
+        Number of grid cells per dimension (the paper sweeps 100 and 500
+        over its 1000-unit universe).
+    cell_size:
+        Alternative, scale-invariant configuration: the cell edge length
+        in space units.  The paper's PBSM-500 is ``cell_size = 2.0`` and
+        PBSM-100 is ``cell_size = 10.0``; configuring by cell size keeps
+        the replication factor (and hence the memory/time behaviour)
+        identical on density-scaled universes.  Exactly one of
+        ``resolution`` / ``cell_size`` may be given.
+    local_kernel:
+        Kernel joining the object lists of a cell pair; the paper uses the
+        plane sweep (``"sweep"``, default).
+    universe:
+        Optional fixed universe; by default the union of both datasets'
+        extents is used.
+    """
+
+    name = "PBSM"
+
+    #: The paper's universe edge, used to display cell-size configurations
+    #: under their familiar names (cell 2.0 -> "PBSM-500").
+    PAPER_SPACE = 1000.0
+
+    def __init__(
+        self,
+        resolution: int | None = None,
+        cell_size: float | None = None,
+        local_kernel: str = "sweep",
+        universe: MBR | None = None,
+    ) -> None:
+        if resolution is None and cell_size is None:
+            resolution = 500
+        if resolution is not None and cell_size is not None:
+            raise ValueError("specify at most one of resolution and cell_size")
+        if resolution is not None and resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {resolution}")
+        if cell_size is not None and cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        if local_kernel not in LOCAL_KERNELS:
+            raise ValueError(f"unknown local kernel {local_kernel!r}")
+        self.resolution = resolution
+        self.cell_size = cell_size
+        self.local_kernel = local_kernel
+        self.universe = universe
+        if resolution is not None:
+            self.name = f"PBSM-{resolution}"
+        else:
+            self.name = f"PBSM-{self.PAPER_SPACE / cell_size:g}"
+
+    def describe(self) -> dict:
+        return {
+            "resolution": self.resolution,
+            "cell_size": self.cell_size,
+            "local_kernel": self.local_kernel,
+        }
+
+    def _execute(
+        self,
+        objects_a: list[SpatialObject],
+        objects_b: list[SpatialObject],
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        if not objects_a or not objects_b:
+            return []
+        universe = self.universe
+        if universe is None:
+            universe = total_mbr(o.mbr for o in objects_a).union(
+                total_mbr(o.mbr for o in objects_b)
+            )
+
+        build_start = time.perf_counter()
+        if self.resolution is not None:
+            grid_a = UniformGrid(universe, resolution=self.resolution)
+            grid_b = UniformGrid(universe, resolution=self.resolution)
+        else:
+            grid_a = UniformGrid(universe, cell_size=self.cell_size)
+            grid_b = UniformGrid(universe, cell_size=self.cell_size)
+        for obj in objects_a:
+            grid_a.insert(obj, obj.mbr)
+        for obj in objects_b:
+            grid_b.insert(obj, obj.mbr)
+        stats.build_seconds = time.perf_counter() - build_start
+        stats.replicated_entries = (grid_a.reference_count - len(objects_a)) + (
+            grid_b.reference_count - len(objects_b)
+        )
+
+        kernel = LOCAL_KERNELS[self.local_kernel]
+        pairs: list[Pair] = []
+        duplicates = 0
+
+        join_start = time.perf_counter()
+        # Iterate the sparser map and probe the denser one.
+        if len(grid_a) <= len(grid_b):
+            outer, inner, a_side_outer = grid_a, grid_b, True
+        else:
+            outer, inner, a_side_outer = grid_b, grid_a, False
+
+        for coords, outer_items in outer.non_empty_cells():
+            inner_items = inner.items_in_cell(coords)
+            if not inner_items:
+                continue
+            cell_a = outer_items if a_side_outer else inner_items
+            cell_b = inner_items if a_side_outer else outer_items
+
+            def emit(a: SpatialObject, b: SpatialObject) -> None:
+                nonlocal duplicates
+                if grid_a.owns_pair(coords, a.mbr, b.mbr):
+                    pairs.append((a.oid, b.oid))
+                else:
+                    duplicates += 1
+
+            kernel(cell_a, cell_b, stats, emit)
+        stats.join_seconds = time.perf_counter() - join_start
+
+        stats.duplicates_suppressed += duplicates
+        stats.memory_bytes = grid_a.memory_bytes() + grid_b.memory_bytes()
+        return pairs

@@ -1,0 +1,73 @@
+"""Name → algorithm factory registry used by the benchmark harness.
+
+The canonical configurations replicate §6.1 of the paper, expressed in
+*scale-invariant* terms so they behave identically on density-scaled
+universes (see :mod:`repro.bench.config`):
+
+- R-Tree based approaches (INL, sync traversal): fanout 2;
+- S3: fanout 3 with the finest grid cells ≈ 12.35 units wide (≡ 5 levels
+  over the paper's 1000-unit universe);
+- PBSM: cells of 2 units ("PBSM-500" ≡ 500 cells/dim over 1000 units)
+  and 10 units ("PBSM-100");
+- TOUCH: fanout 2, 1024 partitions; its local-join grid is sized
+  relative to the average object, hence already scale-invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.joins.base import SpatialJoinAlgorithm
+from repro.joins.indexed_nested_loop import IndexedNestedLoopJoin
+from repro.joins.nested_loop import NestedLoopJoin
+from repro.joins.pbsm import PBSMJoin
+from repro.joins.plane_sweep import PlaneSweepJoin
+from repro.joins.quadtree import QuadtreeJoin
+from repro.joins.rtree_join import RTreeSyncJoin
+from repro.joins.s3 import S3Join
+from repro.joins.seeded_tree import SeededTreeJoin
+from repro.joins.sssj import SSSJJoin
+
+__all__ = ["ALGORITHMS", "make_algorithm", "algorithm_names"]
+
+
+def _touch_factory(**overrides) -> SpatialJoinAlgorithm:
+    # Imported lazily: repro.core depends on repro.joins.
+    from repro.core.touch import TouchJoin
+
+    return TouchJoin(**overrides)
+
+
+#: The paper's S3 configuration in scale-invariant form: fanout 3 with 5
+#: levels over 1000 units means the finest grid has 3^4 = 81 cells/dim.
+_S3_FINEST_CELL = 1000.0 / 81.0
+
+ALGORITHMS: dict[str, Callable[..., SpatialJoinAlgorithm]] = {
+    "NL": NestedLoopJoin,
+    "PS": PlaneSweepJoin,
+    "PBSM-500": lambda **kw: PBSMJoin(cell_size=2.0, **kw),
+    "PBSM-100": lambda **kw: PBSMJoin(cell_size=10.0, **kw),
+    "S3": lambda **kw: S3Join(fanout=3, finest_cell_size=_S3_FINEST_CELL, **kw),
+    "INL": lambda **kw: IndexedNestedLoopJoin(fanout=2, **kw),
+    "RTree": lambda **kw: RTreeSyncJoin(fanout=2, **kw),
+    "SeededTree": SeededTreeJoin,
+    "Quadtree": QuadtreeJoin,
+    "SSSJ": SSSJJoin,
+    "TOUCH": _touch_factory,
+}
+
+
+def algorithm_names() -> list[str]:
+    """All registered algorithm names."""
+    return list(ALGORITHMS)
+
+
+def make_algorithm(name: str, **overrides) -> SpatialJoinAlgorithm:
+    """Instantiate a registered algorithm with optional overrides."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; known: {', '.join(ALGORITHMS)}"
+        ) from None
+    return factory(**overrides)

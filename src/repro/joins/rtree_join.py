@@ -1,0 +1,125 @@
+"""Synchronous R-Tree traversal join (Brinkhoff, Kriegel & Seeger).
+
+Both datasets are indexed (STR bulk loading, as the paper recommends for
+non-extreme data) and the two trees are descended in lockstep: node pairs
+whose MBRs intersect recurse into their children; leaf pairs are joined
+with the plane-sweep local kernel.  Unlike INL, the traversal shares work
+across probe objects, which the paper identifies as the reason the
+synchronous traversal "is always faster than INL" despite a nearly
+identical comparison count.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.geometry.objects import SpatialObject
+from repro.joins.base import Pair, SpatialJoinAlgorithm
+from repro.joins.local import LOCAL_KERNELS
+from repro.rtree.node import RTreeNode
+from repro.rtree.rtree import PackingMethod, RTree
+from repro.stats.counters import JoinStatistics
+
+__all__ = ["RTreeSyncJoin"]
+
+
+class RTreeSyncJoin(SpatialJoinAlgorithm):
+    """Dual bulk-loaded R-Trees joined by synchronous traversal.
+
+    Parameters
+    ----------
+    fanout / leaf_capacity / packing:
+        Passed to both :class:`~repro.rtree.rtree.RTree` builds.
+    local_kernel:
+        Kernel for leaf-leaf pairs; the paper uses the plane sweep.
+    """
+
+    name = "RTree"
+
+    def __init__(
+        self,
+        fanout: int = 2,
+        leaf_capacity: int | None = None,
+        packing: PackingMethod = "str",
+        local_kernel: str = "sweep",
+    ) -> None:
+        if local_kernel not in LOCAL_KERNELS:
+            raise ValueError(f"unknown local kernel {local_kernel!r}")
+        self.fanout = fanout
+        self.leaf_capacity = leaf_capacity
+        self.packing = packing
+        self.local_kernel = local_kernel
+
+    def describe(self) -> dict:
+        return {
+            "fanout": self.fanout,
+            "leaf_capacity": self.leaf_capacity or self.fanout,
+            "packing": self.packing,
+            "local_kernel": self.local_kernel,
+        }
+
+    def _execute(
+        self,
+        objects_a: list[SpatialObject],
+        objects_b: list[SpatialObject],
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        if not objects_a or not objects_b:
+            return []
+
+        build_start = time.perf_counter()
+        tree_a = RTree(
+            objects_a, fanout=self.fanout, leaf_capacity=self.leaf_capacity, method=self.packing
+        )
+        tree_b = RTree(
+            objects_b, fanout=self.fanout, leaf_capacity=self.leaf_capacity, method=self.packing
+        )
+        stats.build_seconds = time.perf_counter() - build_start
+
+        pairs: list[Pair] = []
+        kernel = LOCAL_KERNELS[self.local_kernel]
+        emit = lambda a, b: pairs.append((a.oid, b.oid))  # noqa: E731
+
+        join_start = time.perf_counter()
+        stats.node_tests += 1
+        if tree_a.root.mbr.intersects(tree_b.root.mbr):
+            self._traverse(tree_a.root, tree_b.root, stats, kernel, emit)
+        stats.join_seconds = time.perf_counter() - join_start
+
+        stats.memory_bytes = tree_a.memory_bytes() + tree_b.memory_bytes()
+        return pairs
+
+    @staticmethod
+    def _traverse(root_a: RTreeNode, root_b: RTreeNode, stats, kernel, emit) -> None:
+        """Iterative lockstep descent over intersecting node pairs.
+
+        Trees of different heights are handled by descending only the
+        deeper node once one side reaches its leaves ("fix-height"
+        traversal).
+        """
+        stack = [(root_a, root_b)]
+        node_tests = 0
+        while stack:
+            node_a, node_b = stack.pop()
+            if node_a.is_leaf and node_b.is_leaf:
+                kernel(node_a.objects, node_b.objects, stats, emit)
+                continue
+            if node_a.is_leaf:
+                for child in node_b.children:
+                    node_tests += 1
+                    if node_a.mbr.intersects(child.mbr):
+                        stack.append((node_a, child))
+                continue
+            if node_b.is_leaf:
+                for child in node_a.children:
+                    node_tests += 1
+                    if child.mbr.intersects(node_b.mbr):
+                        stack.append((child, node_b))
+                continue
+            for child_a in node_a.children:
+                mbr_a = child_a.mbr
+                for child_b in node_b.children:
+                    node_tests += 1
+                    if mbr_a.intersects(child_b.mbr):
+                        stack.append((child_a, child_b))
+        stats.node_tests += node_tests

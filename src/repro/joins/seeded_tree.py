@@ -1,0 +1,160 @@
+"""Seeded tree join (Lo & Ravishankar) — related-work extension.
+
+The paper discusses the seeded tree in §2.2.2 but does not evaluate it; we
+provide it as an optional baseline.  An R-Tree ``IA`` on dataset A is
+built first; its top ``seed_levels`` levels are copied to *seed* a second
+tree for dataset B.  Every b ∈ B is routed down the seed (following the
+least-enlargement child, the classic R-Tree ``ChooseSubtree`` rule) into a
+seed slot; each slot's buffer is then bulk-loaded into a grown subtree.
+Because the seed mirrors IA's structure, the two trees' node MBRs are
+aligned, which reduces the node tests of the final synchronous traversal.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.geometry.mbr import total_mbr
+from repro.geometry.objects import SpatialObject
+from repro.joins.base import Pair, SpatialJoinAlgorithm
+from repro.joins.local import LOCAL_KERNELS
+from repro.joins.rtree_join import RTreeSyncJoin
+from repro.rtree.node import RTreeNode
+from repro.rtree.rtree import RTree
+from repro.stats import memory as memmodel
+from repro.stats.counters import JoinStatistics
+
+__all__ = ["SeededTreeJoin"]
+
+
+class SeededTreeJoin(SpatialJoinAlgorithm):
+    """Seeded-tree construction for B, then synchronous traversal.
+
+    Parameters
+    ----------
+    fanout / leaf_capacity:
+        Parameters of the R-Tree on A and of the grown subtrees.
+    seed_levels:
+        How many levels of IA (from the root) form the seed.
+    local_kernel:
+        Leaf-pair kernel of the final traversal.
+    """
+
+    name = "SeededTree"
+
+    def __init__(
+        self,
+        fanout: int = 4,
+        leaf_capacity: int | None = None,
+        seed_levels: int = 3,
+        local_kernel: str = "sweep",
+    ) -> None:
+        if seed_levels < 1:
+            raise ValueError(f"seed_levels must be >= 1, got {seed_levels}")
+        if local_kernel not in LOCAL_KERNELS:
+            raise ValueError(f"unknown local kernel {local_kernel!r}")
+        self.fanout = fanout
+        self.leaf_capacity = leaf_capacity
+        self.seed_levels = seed_levels
+        self.local_kernel = local_kernel
+
+    def describe(self) -> dict:
+        return {
+            "fanout": self.fanout,
+            "leaf_capacity": self.leaf_capacity or self.fanout,
+            "seed_levels": self.seed_levels,
+            "local_kernel": self.local_kernel,
+        }
+
+    def _execute(
+        self,
+        objects_a: list[SpatialObject],
+        objects_b: list[SpatialObject],
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        if not objects_a or not objects_b:
+            return []
+
+        build_start = time.perf_counter()
+        tree_a = RTree(objects_a, fanout=self.fanout, leaf_capacity=self.leaf_capacity)
+        stats.build_seconds = time.perf_counter() - build_start
+
+        assign_start = time.perf_counter()
+        root_b, grown_nodes = self._grow_seeded_tree(tree_a, objects_b, stats)
+        stats.assign_seconds = time.perf_counter() - assign_start
+
+        pairs: list[Pair] = []
+        kernel = LOCAL_KERNELS[self.local_kernel]
+        emit = lambda a, b: pairs.append((a.oid, b.oid))  # noqa: E731
+
+        join_start = time.perf_counter()
+        stats.node_tests += 1
+        if root_b is not None and tree_a.root.mbr.intersects(root_b.mbr):
+            RTreeSyncJoin._traverse(tree_a.root, root_b, stats, kernel, emit)
+        stats.join_seconds = time.perf_counter() - join_start
+
+        dim = objects_a[0].mbr.dim
+        stats.memory_bytes = tree_a.memory_bytes() + grown_nodes * memmodel.node_bytes(
+            dim, self.fanout
+        ) + memmodel.reference_list_bytes(len(objects_b))
+        return pairs
+
+    def _grow_seeded_tree(
+        self,
+        tree_a: RTree,
+        objects_b: list[SpatialObject],
+        stats: JoinStatistics,
+    ) -> tuple[RTreeNode | None, int]:
+        """Copy IA's top levels, route B into slots, bulk-load the slots.
+
+        Returns the root of the grown tree and the number of nodes
+        created (for the memory model).
+        """
+        seed_floor = max(0, tree_a.root.level - (self.seed_levels - 1))
+        slots: dict[int, list[SpatialObject]] = {}
+        slot_nodes: list[RTreeNode] = []
+
+        # Identify the seed slot nodes: IA nodes at the seed floor level.
+        for node in tree_a.root.iter_subtree():
+            if node.level == seed_floor:
+                slots[id(node)] = []
+                slot_nodes.append(node)
+
+        # Route every b down the seed by least enlargement.
+        node_tests = 0
+        for b in objects_b:
+            current = tree_a.root
+            while current.level > seed_floor:
+                best, best_growth = None, float("inf")
+                for child in current.children:
+                    node_tests += 1
+                    growth = child.mbr.union(b.mbr).volume() - child.mbr.volume()
+                    if growth < best_growth:
+                        best, best_growth = child, growth
+                current = best
+            slots[id(current)].append(b)
+        stats.node_tests += node_tests
+
+        # Bulk-load each non-empty slot into a grown subtree.
+        subtrees: list[RTreeNode] = []
+        grown_nodes = 0
+        for node in slot_nodes:
+            buffered = slots[id(node)]
+            if not buffered:
+                continue
+            grown = RTree(buffered, fanout=self.fanout, leaf_capacity=self.leaf_capacity)
+            subtrees.append(grown.root)
+            grown_nodes += grown.node_count()
+
+        if not subtrees:
+            return None, 0
+        if len(subtrees) == 1:
+            return subtrees[0], grown_nodes
+
+        # Stitch the subtrees under a shallow root (heights may differ;
+        # the fix-height traversal of RTreeSyncJoin handles that).
+        level = max(s.level for s in subtrees) + 1
+        root = RTreeNode(
+            total_mbr(s.mbr for s in subtrees), level=level, children=subtrees
+        )
+        return root, grown_nodes + 1

@@ -1,0 +1,5 @@
+"""Chunked execution simulating the paper's per-core decomposition."""
+
+from repro.parallel.chunked import ChunkedSpatialJoin, slab_bounds
+
+__all__ = ["ChunkedSpatialJoin", "slab_bounds"]

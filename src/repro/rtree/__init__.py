@@ -1,0 +1,15 @@
+"""Bulk-loaded R-Tree substrate (STR and Hilbert packing)."""
+
+from repro.rtree.hilbert import hilbert_index, hilbert_key_function
+from repro.rtree.node import RTreeNode
+from repro.rtree.rtree import RTree
+from repro.rtree.str_pack import slices_of, str_partition
+
+__all__ = [
+    "RTree",
+    "RTreeNode",
+    "str_partition",
+    "slices_of",
+    "hilbert_index",
+    "hilbert_key_function",
+]

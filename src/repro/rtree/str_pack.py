@@ -1,0 +1,89 @@
+"""Sort-Tile-Recursive (STR) packing (Leutenegger, Lopez & Edgington).
+
+STR is the bulk-loading strategy the paper uses both for its R-Tree
+baselines and for TOUCH's bucket construction: it "typically produces leaf
+nodes with the smallest MBRs ... and thus allows for more effective
+filtering" (§5.1).
+
+Given ``n`` items and a target partition capacity ``c``, STR computes the
+number of partitions ``P = ceil(n / c)``, sorts the items by the first
+coordinate of their MBR centers, slices them into ``S = ceil(P^(1/D))``
+vertical slabs, and recursively tiles each slab using the remaining
+``D - 1`` dimensions.  The leaves of the recursion are runs of at most
+``c`` spatially adjacent items.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["str_partition", "slices_of"]
+
+T = TypeVar("T")
+
+
+def slices_of(items: Sequence[T], size: int) -> list[list[T]]:
+    """Chop ``items`` into consecutive runs of at most ``size`` elements."""
+    if size < 1:
+        raise ValueError(f"slice size must be >= 1, got {size}")
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def str_partition(
+    items: Sequence[T],
+    capacity: int,
+    center_of: Callable[[T], Sequence[float]],
+    dim: int,
+) -> list[list[T]]:
+    """Partition ``items`` into spatially coherent groups of ≤ ``capacity``.
+
+    Parameters
+    ----------
+    items:
+        The objects (or index nodes) to pack.
+    capacity:
+        Maximum group size; the paper's "partitions of size fo".
+    center_of:
+        Accessor returning the MBR center used for sorting.
+    dim:
+        Dimensionality of the centers.
+
+    Returns
+    -------
+    list[list[T]]
+        Groups in tile order.  Every input item appears in exactly one
+        group, and every group except possibly trailing ones is full.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    if not items:
+        return []
+    return _tile(list(items), capacity, center_of, axis=0, dims_left=dim)
+
+
+def _tile(
+    items: list[T],
+    capacity: int,
+    center_of: Callable[[T], Sequence[float]],
+    axis: int,
+    dims_left: int,
+) -> list[list[T]]:
+    """Recursive tiling step of STR along ``axis``."""
+    n = len(items)
+    if n <= capacity:
+        return [items]
+    if dims_left <= 1:
+        items.sort(key=lambda item: center_of(item)[axis])
+        return slices_of(items, capacity)
+
+    partitions_needed = math.ceil(n / capacity)
+    slab_count = math.ceil(partitions_needed ** (1.0 / dims_left))
+    slab_size = math.ceil(n / slab_count)
+
+    items.sort(key=lambda item: center_of(item)[axis])
+    groups: list[list[T]] = []
+    for start in range(0, n, slab_size):
+        slab = items[start : start + slab_size]
+        groups.extend(_tile(slab, capacity, center_of, axis + 1, dims_left - 1))
+    return groups

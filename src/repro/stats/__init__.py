@@ -1,0 +1,20 @@
+"""Instrumentation: counters, timers, memory model and cost estimation."""
+
+from repro.stats.counters import JoinStatistics
+from repro.stats.estimate import (
+    estimate_pair_probability,
+    estimate_result_pairs,
+    estimate_selectivity,
+    mean_side_lengths,
+)
+from repro.stats.timing import PhaseTimer, timed
+
+__all__ = [
+    "JoinStatistics",
+    "PhaseTimer",
+    "timed",
+    "estimate_pair_probability",
+    "estimate_result_pairs",
+    "estimate_selectivity",
+    "mean_side_lengths",
+]

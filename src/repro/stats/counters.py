@@ -1,0 +1,102 @@
+"""Join statistics: the implementation-independent metrics of the paper.
+
+Every join algorithm fills a :class:`JoinStatistics` instance.  The paper's
+headline metric is ``comparisons`` — the number of object-object MBR
+intersection tests — which is independent of language and machine, plus
+execution time and memory footprint.  We also track several secondary
+counters (node tests, filtered objects, replication) that the paper
+discusses qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["JoinStatistics"]
+
+
+@dataclass
+class JoinStatistics:
+    """Counters and timings collected while executing a spatial join.
+
+    Attributes
+    ----------
+    comparisons:
+        Object-object MBR intersection tests (the paper's headline count).
+    node_tests:
+        Object-node or node-node MBR tests performed while navigating index
+        structures.  The paper excludes these from the headline metric; we
+        keep them for analysis.
+    result_pairs:
+        Number of intersecting pairs reported.
+    duplicates_suppressed:
+        Candidate pairs discarded by deduplication (reference-point method
+        in PBSM and in grid local joins).
+    filtered:
+        Objects of the probe dataset eliminated before any object-object
+        comparison (TOUCH / S3 filtering; Figures 13 and 14a).
+    replicated_entries:
+        Total object references stored in partitioning structures beyond
+        one per object (multiple assignment in PBSM, grid replication in
+        local joins).
+    memory_bytes:
+        Analytic memory footprint of the algorithm's data structures, per
+        the model in :mod:`repro.stats.memory`.
+    build_seconds / assign_seconds / join_seconds:
+        Wall-clock duration of the three phases (tree/index/partition
+        construction, assignment/probing, actual joining).  Algorithms
+        without a phase leave it at zero.
+    total_seconds:
+        End-to-end wall-clock duration, including structure building, as
+        the paper reports ("the time to build the indexing structures is
+        included").
+    """
+
+    comparisons: int = 0
+    node_tests: int = 0
+    result_pairs: int = 0
+    duplicates_suppressed: int = 0
+    filtered: int = 0
+    replicated_entries: int = 0
+    memory_bytes: int = 0
+    build_seconds: float = 0.0
+    assign_seconds: float = 0.0
+    join_seconds: float = 0.0
+    total_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "JoinStatistics") -> None:
+        """Accumulate another statistics object into this one.
+
+        Used by the chunked-parallel executor to combine per-chunk
+        statistics.  Timings add up (sequential-equivalent work) and the
+        memory footprint takes the maximum, matching the peak-resident
+        semantics of the paper's measurement.
+        """
+        self.comparisons += other.comparisons
+        self.node_tests += other.node_tests
+        self.result_pairs += other.result_pairs
+        self.duplicates_suppressed += other.duplicates_suppressed
+        self.filtered += other.filtered
+        self.replicated_entries += other.replicated_entries
+        self.memory_bytes = max(self.memory_bytes, other.memory_bytes)
+        self.build_seconds += other.build_seconds
+        self.assign_seconds += other.assign_seconds
+        self.join_seconds += other.join_seconds
+        self.total_seconds += other.total_seconds
+
+    def as_dict(self) -> dict:
+        """Flat dictionary view used by the benchmark reporter."""
+        return {
+            "comparisons": self.comparisons,
+            "node_tests": self.node_tests,
+            "result_pairs": self.result_pairs,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "filtered": self.filtered,
+            "replicated_entries": self.replicated_entries,
+            "memory_bytes": self.memory_bytes,
+            "build_seconds": self.build_seconds,
+            "assign_seconds": self.assign_seconds,
+            "join_seconds": self.join_seconds,
+            "total_seconds": self.total_seconds,
+        }

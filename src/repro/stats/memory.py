@@ -1,0 +1,69 @@
+"""Analytic memory-footprint model.
+
+The paper measures the resident memory of a single-threaded C++
+implementation.  Measuring a CPython process instead would mostly measure
+interpreter object headers, so this module prices the *algorithmic* data
+structures with C++-like constants.  The model is deliberately simple and
+shared by all algorithms, so relative footprints — the quantity the paper
+argues about (PBSM-500 ≈ 80× everything else) — are faithful.
+
+Cost constants
+--------------
+- a stored object reference (pointer) costs :data:`POINTER_BYTES`;
+- an MBR costs ``2 * dim * COORD_BYTES``;
+- an index node costs :data:`NODE_OVERHEAD_BYTES` plus its MBR plus one
+  pointer per child slot;
+- a hash-grid cell costs :data:`CELL_OVERHEAD_BYTES` plus one pointer per
+  stored reference.
+
+PBSM's blow-up emerges naturally: with 500 cells per dimension each
+ε-inflated object overlaps hundreds of 3D cells and is re-referenced in
+every one of them.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "POINTER_BYTES",
+    "COORD_BYTES",
+    "NODE_OVERHEAD_BYTES",
+    "CELL_OVERHEAD_BYTES",
+    "OBJECT_RECORD_BYTES",
+    "mbr_bytes",
+    "object_record_bytes",
+    "node_bytes",
+    "grid_cells_bytes",
+    "reference_list_bytes",
+]
+
+POINTER_BYTES = 8
+COORD_BYTES = 8
+NODE_OVERHEAD_BYTES = 16  # level tag, entity-list header, parent pointer
+CELL_OVERHEAD_BYTES = 24  # hash bucket + list header
+OBJECT_RECORD_BYTES = 8  # id field of an object record (MBR priced separately)
+
+
+def mbr_bytes(dim: int) -> int:
+    """Size of one MBR: two corners of ``dim`` coordinates."""
+    return 2 * dim * COORD_BYTES
+
+
+def object_record_bytes(dim: int) -> int:
+    """Size of one stored object record: id + MBR."""
+    return OBJECT_RECORD_BYTES + mbr_bytes(dim)
+
+
+def node_bytes(dim: int, fanout: int) -> int:
+    """Size of one index node with ``fanout`` child slots."""
+    return NODE_OVERHEAD_BYTES + mbr_bytes(dim) + fanout * POINTER_BYTES
+
+
+def reference_list_bytes(n_references: int) -> int:
+    """Size of a list storing ``n_references`` object pointers."""
+    return n_references * POINTER_BYTES
+
+
+def grid_cells_bytes(n_cells: int, n_references: int) -> int:
+    """Size of a hash grid with ``n_cells`` non-empty cells holding
+    ``n_references`` object references in total."""
+    return n_cells * CELL_OVERHEAD_BYTES + n_references * POINTER_BYTES

@@ -1,0 +1,64 @@
+"""Lightweight phase timers used by the join implementations."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PhaseTimer", "timed"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock durations for named phases.
+
+    Example
+    -------
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("build"):
+    ...     pass
+    >>> timer.seconds("build") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._durations: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager accumulating into phase ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._durations[name] = self._durations.get(name, 0.0) + elapsed
+
+    def seconds(self, name: str) -> float:
+        """Accumulated duration of phase ``name`` (zero if never entered)."""
+        return self._durations.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum of all recorded phases."""
+        return sum(self._durations.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Copy of the phase → seconds mapping."""
+        return dict(self._durations)
+
+
+@contextmanager
+def timed() -> Iterator[list[float]]:
+    """Yield a single-element list that receives the elapsed seconds.
+
+    >>> with timed() as t:
+    ...     pass
+    >>> t[0] >= 0.0
+    True
+    """
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

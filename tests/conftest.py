@@ -1,0 +1,60 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.datasets.synthetic import clustered_boxes, gaussian_boxes, uniform_boxes
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import SpatialObject
+
+# Keep property tests fast and deterministic enough for CI while still
+# exploring a meaningful slice of the input space.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def small_uniform_pair():
+    """A tiny uniform A x B pair used by many correctness tests."""
+    return uniform_boxes(80, seed=11), uniform_boxes(240, seed=12)
+
+
+@pytest.fixture(scope="session")
+def small_gaussian_pair():
+    return gaussian_boxes(80, seed=13), gaussian_boxes(240, seed=14)
+
+
+@pytest.fixture(scope="session")
+def small_clustered_pair():
+    return clustered_boxes(80, seed=15, n_clusters=10), clustered_boxes(
+        240, seed=16, n_clusters=10
+    )
+
+
+@pytest.fixture
+def unit_objects():
+    """A hand-crafted 2D configuration with known intersections.
+
+    Layout (ids):  a0 = [0,2]x[0,2], a1 = [3,5]x[3,5], a2 = [10,11]x[10,11]
+                   b0 = [1,3]x[1,3] (hits a0 and touches a1 at corner (3,3)),
+                   b1 = [4,6]x[4,6] (hits a1), b2 = [20,21]x[20,21] (nothing).
+    """
+    a = [
+        SpatialObject(0, MBR((0.0, 0.0), (2.0, 2.0))),
+        SpatialObject(1, MBR((3.0, 3.0), (5.0, 5.0))),
+        SpatialObject(2, MBR((10.0, 10.0), (11.0, 11.0))),
+    ]
+    b = [
+        SpatialObject(0, MBR((1.0, 1.0), (3.0, 3.0))),
+        SpatialObject(1, MBR((4.0, 4.0), (6.0, 6.0))),
+        SpatialObject(2, MBR((20.0, 20.0), (21.0, 21.0))),
+    ]
+    expected = {(0, 0), (1, 0), (1, 1)}
+    return a, b, expected

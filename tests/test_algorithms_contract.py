@@ -1,0 +1,124 @@
+"""The cross-algorithm contract: every join returns exactly the truth.
+
+This is the heart of the correctness suite (paper §4.6): for every
+registered algorithm, on every distribution, in 2D and 3D, with and
+without ε-inflation, the result must be complete, sound and
+duplicate-free — i.e. identical to the nested-loop ground truth.
+"""
+
+import pytest
+
+from repro.datasets.synthetic import clustered_boxes, gaussian_boxes, uniform_boxes
+from repro.datasets.transform import inflate
+from repro.joins.registry import algorithm_names, make_algorithm
+from repro.validation import assert_matches_ground_truth
+
+ALL_ALGORITHMS = algorithm_names()
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+class TestContract3D:
+    def test_uniform(self, algorithm, small_uniform_pair):
+        dataset_a, dataset_b = small_uniform_pair
+        result = make_algorithm(algorithm).join(dataset_a, dataset_b)
+        assert_matches_ground_truth(result, dataset_a, dataset_b)
+
+    def test_gaussian(self, algorithm, small_gaussian_pair):
+        dataset_a, dataset_b = small_gaussian_pair
+        result = make_algorithm(algorithm).join(dataset_a, dataset_b)
+        assert_matches_ground_truth(result, dataset_a, dataset_b)
+
+    def test_clustered(self, algorithm, small_clustered_pair):
+        dataset_a, dataset_b = small_clustered_pair
+        result = make_algorithm(algorithm).join(dataset_a, dataset_b)
+        assert_matches_ground_truth(result, dataset_a, dataset_b)
+
+    def test_with_epsilon_inflation(self, algorithm, small_uniform_pair):
+        dataset_a, dataset_b = small_uniform_pair
+        inflated = inflate(dataset_a, 25.0)
+        result = make_algorithm(algorithm).join(inflated, dataset_b)
+        assert_matches_ground_truth(result, inflated, dataset_b)
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+class TestContract2D:
+    def test_uniform_2d(self, algorithm):
+        dataset_a = uniform_boxes(60, seed=31, dim=2, side_range=(0.0, 40.0))
+        dataset_b = uniform_boxes(180, seed=32, dim=2, side_range=(0.0, 40.0))
+        result = make_algorithm(algorithm).join(dataset_a, dataset_b)
+        assert_matches_ground_truth(result, dataset_a, dataset_b)
+
+    def test_clustered_2d(self, algorithm):
+        dataset_a = clustered_boxes(60, seed=33, dim=2, n_clusters=5)
+        dataset_b = clustered_boxes(180, seed=34, dim=2, n_clusters=5)
+        result = make_algorithm(algorithm).join(dataset_a, dataset_b)
+        assert_matches_ground_truth(result, dataset_a, dataset_b)
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+class TestEdgeCases:
+    def test_empty_a(self, algorithm, small_uniform_pair):
+        _, dataset_b = small_uniform_pair
+        result = make_algorithm(algorithm).join([], dataset_b)
+        assert result.pairs == []
+        assert result.stats.comparisons == 0
+
+    def test_empty_b(self, algorithm, small_uniform_pair):
+        dataset_a, _ = small_uniform_pair
+        result = make_algorithm(algorithm).join(dataset_a, [])
+        assert result.pairs == []
+
+    def test_both_empty(self, algorithm):
+        result = make_algorithm(algorithm).join([], [])
+        assert result.pairs == []
+
+    def test_single_objects_hit(self, algorithm):
+        from repro.geometry.objects import box_object
+
+        a = [box_object(1, (0, 0, 0), (2, 2, 2))]
+        b = [box_object(9, (1, 1, 1), (3, 3, 3))]
+        result = make_algorithm(algorithm).join(a, b)
+        assert result.pairs == [(1, 9)]
+
+    def test_single_objects_miss(self, algorithm):
+        from repro.geometry.objects import box_object
+
+        a = [box_object(1, (0, 0, 0), (1, 1, 1))]
+        b = [box_object(9, (5, 5, 5), (6, 6, 6))]
+        result = make_algorithm(algorithm).join(a, b)
+        assert result.pairs == []
+
+    def test_identical_datasets(self, algorithm):
+        data = list(uniform_boxes(40, seed=35, side_range=(0.0, 60.0)))
+        result = make_algorithm(algorithm).join(data, data)
+        assert_matches_ground_truth(result, data, data)
+        # Every object at least matches itself.
+        assert len(result.pairs) >= len(data)
+
+    def test_touching_boundaries(self, algorithm):
+        """Boxes that share exactly one face/corner must still be found."""
+        from repro.geometry.objects import box_object
+
+        a = [box_object(0, (0, 0), (1, 1)), box_object(1, (5, 5), (6, 6))]
+        b = [
+            box_object(0, (1, 0), (2, 1)),  # shares a face with a0
+            box_object(1, (6, 6), (7, 7)),  # shares a corner with a1
+            box_object(2, (3, 3), (4, 4)),  # touches nothing
+        ]
+        result = make_algorithm(algorithm).join(a, b)
+        assert result.pair_set() == {(0, 0), (1, 1)}
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_statistics_are_consistent(algorithm, small_uniform_pair):
+    dataset_a, dataset_b = small_uniform_pair
+    result = make_algorithm(algorithm).join(dataset_a, dataset_b)
+    stats = result.stats
+    assert stats.result_pairs == len(result.pairs)
+    assert stats.total_seconds > 0.0
+    assert stats.comparisons >= 0
+    assert stats.memory_bytes >= 0
+    # Phases never exceed the total (allowing small timer noise).
+    assert stats.build_seconds + stats.assign_seconds + stats.join_seconds <= (
+        stats.total_seconds + 0.05
+    )

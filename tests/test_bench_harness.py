@@ -1,0 +1,167 @@
+"""Benchmark harness: scales, workloads, runner, experiments, reporting."""
+
+import json
+
+import pytest
+
+from repro.bench.config import SCALES, Scale, current_scale
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import format_table, save_json, summarize_series
+from repro.bench.runner import run_algorithm
+from repro.bench.workloads import (
+    FIG8_ALGORITHMS,
+    LARGE_ALGORITHMS,
+    neuro_pair,
+    synthetic_pair,
+)
+
+SMOKE = SCALES["smoke"]
+
+
+class TestConfig:
+    def test_all_scales_well_formed(self):
+        for scale in SCALES.values():
+            assert scale.fig8_a > 0
+            assert len(scale.fig8_b_steps) >= 1
+            assert len(scale.large_b_steps) >= 1
+            assert scale.epsilons == (5.0, 10.0)
+
+    def test_scales_ordered_by_size(self):
+        assert SCALES["smoke"].large_a < SCALES["small"].large_a
+        assert SCALES["small"].large_a < SCALES["medium"].large_a
+        assert SCALES["medium"].large_a < SCALES["paper"].large_a
+
+    def test_paper_scale_matches_paper_cardinalities(self):
+        paper = SCALES["paper"]
+        assert paper.fig8_a == 10_000
+        assert paper.large_a == 1_600_000
+        assert paper.large_b_steps[-1] == 9_600_000
+        assert paper.table1_a == 160_000
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert current_scale("medium").name == "medium"
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError, match="unknown scale"):
+            current_scale("galactic")
+
+
+class TestWorkloads:
+    def test_synthetic_pair_cached(self):
+        first = synthetic_pair("uniform", 100, 200, SMOKE)
+        second = synthetic_pair("uniform", 100, 200, SMOKE)
+        assert first[0] is second[0]
+
+    def test_pair_sizes(self):
+        dataset_a, dataset_b = synthetic_pair("gaussian", 50, 150, SMOKE)
+        assert len(dataset_a) == 50 and len(dataset_b) == 150
+
+    def test_neuro_pair_ratio(self):
+        axons, dendrites = neuro_pair(SMOKE)
+        assert len(dendrites) > len(axons)
+
+    def test_algorithm_lists_match_paper(self):
+        assert "NL" in FIG8_ALGORITHMS and "PS" in FIG8_ALGORITHMS
+        assert "NL" not in LARGE_ALGORITHMS and "PS" not in LARGE_ALGORITHMS
+        assert "TOUCH" in LARGE_ALGORITHMS
+
+
+class TestRunner:
+    def test_run_algorithm_record(self):
+        dataset_a, dataset_b = synthetic_pair("uniform", 60, 120, SMOKE)
+        record = run_algorithm("TOUCH", dataset_a, dataset_b, 10.0)
+        assert record.algorithm == "TOUCH"
+        assert record.n_a == 60 and record.n_b == 120
+        assert record.epsilon == 10.0
+        assert record.total_seconds > 0
+        assert 0.0 <= record.selectivity <= 1.0
+
+    def test_overrides_forwarded(self):
+        dataset_a, dataset_b = synthetic_pair("uniform", 60, 120, SMOKE)
+        record = run_algorithm("TOUCH", dataset_a, dataset_b, 5.0, fanout=8)
+        assert record.extra["tree_height"] >= 1
+
+    def test_as_dict_flat(self):
+        dataset_a, dataset_b = synthetic_pair("uniform", 60, 120, SMOKE)
+        row = run_algorithm("NL", dataset_a, dataset_b, 5.0).as_dict()
+        assert row["comparisons"] == 60 * 120
+
+
+class TestExperiments:
+    def test_registry_covers_every_paper_artifact(self):
+        expected = {
+            "table1",
+            "loading",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99", SMOKE)
+
+    def test_table1_rows(self):
+        result = run_experiment("table1", SMOKE)
+        datasets = {row["dataset"] for row in result.rows}
+        assert len(result.rows) == 8  # (3 synthetic + neuro) x 2 eps
+        assert any("uniform" in d for d in datasets)
+        assert any("neuro" in d for d in datasets)
+        assert all("selectivity_e6" in row for row in result.rows)
+
+    def test_fig13_reports_filtering(self):
+        result = run_experiment("fig13", SMOKE)
+        assert all(row["algorithm"] == "TOUCH" for row in result.rows)
+        assert all("filtered_fraction" in row for row in result.rows)
+
+    def test_fig14_sweeps_fanout(self):
+        result = run_experiment("fig14", SMOKE)
+        fanouts = {row["fanout"] for row in result.rows}
+        assert fanouts == set(SMOKE.fanout_sweep)
+
+    def test_loading_join_dominates_load(self):
+        result = run_experiment("loading", SMOKE)
+        assert all(row["join_over_load"] > 1.0 for row in result.rows)
+
+    def test_ablation_chunked_result_parity(self):
+        result = run_experiment("ablation_chunked", SMOKE)
+        counts = {row["result_pairs"] for row in result.rows}
+        assert len(counts) == 1  # identical pairs at every chunk count
+
+
+class TestReporting:
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_columns(self):
+        rows = [{"algorithm": "TOUCH", "comparisons": 12, "total_seconds": 0.5}]
+        table = format_table(rows, columns=["algorithm", "comparisons"])
+        assert "TOUCH" in table and "12" in table
+        assert "total_seconds" not in table
+
+    def test_save_json_roundtrip(self, tmp_path):
+        result = run_experiment("table1", SMOKE)
+        path = save_json(result, tmp_path / "t1.json")
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "table1"
+        assert len(payload["rows"]) == len(result.rows)
+
+    def test_summarize_series(self):
+        rows = [
+            {"algorithm": "TOUCH", "n_b": 2, "total_seconds": 0.2},
+            {"algorithm": "TOUCH", "n_b": 1, "total_seconds": 0.1},
+            {"algorithm": "S3", "n_b": 1, "total_seconds": 0.3},
+        ]
+        series = summarize_series(rows, "algorithm", "n_b", "total_seconds")
+        assert series["TOUCH"] == [(1, 0.1), (2, 0.2)]
+        assert series["S3"] == [(1, 0.3)]

@@ -1,0 +1,65 @@
+"""ASCII chart renderer for the paper's figures."""
+
+import pytest
+
+from repro.bench.charts import chart_for_experiment, render_chart
+
+
+@pytest.fixture
+def two_series():
+    return {
+        "TOUCH": [(1, 0.1), (2, 0.2), (3, 0.4)],
+        "PBSM-500": [(1, 1.0), (2, 2.0), (3, 4.0)],
+    }
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self, two_series):
+        chart = render_chart(two_series)
+        assert "o=PBSM-500" in chart
+        assert "x=TOUCH" in chart
+        assert "log10(y)" in chart
+
+    def test_linear_mode(self, two_series):
+        chart = render_chart(two_series, log_y=False)
+        assert "[y]" in chart
+
+    def test_empty_series(self):
+        assert render_chart({}) == "(no data to chart)"
+
+    def test_nonpositive_dropped_in_log_mode(self):
+        chart = render_chart({"A": [(1, 0.0), (2, 10.0)]})
+        assert "(no data" not in chart
+
+    def test_all_nonpositive_log(self):
+        assert render_chart({"A": [(1, 0.0)]}) == "(no data to chart)"
+
+    def test_title_rendered(self, two_series):
+        assert render_chart(two_series, title="Figure 9b").startswith("Figure 9b")
+
+    def test_single_point(self):
+        chart = render_chart({"A": [(5, 3.0)]})
+        assert "o=A" in chart
+
+    def test_dimensions_respected(self, two_series):
+        chart = render_chart(two_series, width=20, height=5)
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_lines) == 5
+
+
+class TestChartForExperiment:
+    def test_groups_rows(self):
+        rows = [
+            {"algorithm": "TOUCH", "n_b": 100, "total_seconds": 0.5},
+            {"algorithm": "TOUCH", "n_b": 200, "total_seconds": 0.9},
+            {"algorithm": "S3", "n_b": 100, "total_seconds": 2.0},
+        ]
+        chart = chart_for_experiment(rows, title="t")
+        assert "TOUCH" in chart and "S3" in chart
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["run", "fig13", "--scale", "smoke", "--chart", "filtered"]) == 0
+        out = capsys.readouterr().out
+        assert "filtered" in out

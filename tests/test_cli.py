@@ -1,0 +1,46 @@
+"""The repro-touch command-line harness."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["run", "table1", "--scale", "smoke"])
+        assert args.scale == "smoke"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table1", "--scale", "galactic"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table1" in out and "smoke" in out
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "table1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "TOUCH" in out
+
+    def test_run_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "out" / "table1.json"
+        assert main(["run", "table1", "--scale", "smoke", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["experiment"] == "table1"
+
+    def test_run_fig13(self, capsys):
+        assert main(["run", "fig13", "--scale", "smoke"]) == 0
+        assert "filter" in capsys.readouterr().out.lower()

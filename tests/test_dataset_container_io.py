@@ -1,0 +1,131 @@
+"""Dataset container, binary IO and transformations."""
+
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.io import read_dataset, write_dataset
+from repro.datasets.synthetic import uniform_boxes
+from repro.datasets.transform import concat, inflate, reindexed, sample_fraction
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import box_object
+
+
+class TestDataset:
+    def test_sequence_protocol(self):
+        objs = [box_object(i, (i, i), (i + 1, i + 1)) for i in range(5)]
+        dataset = Dataset(objs, name="five")
+        assert len(dataset) == 5
+        assert dataset[2].oid == 2
+        assert [o.oid for o in dataset] == list(range(5))
+
+    def test_slice_returns_dataset(self):
+        objs = [box_object(i, (i, i), (i + 1, i + 1)) for i in range(5)]
+        sliced = Dataset(objs)[1:3]
+        assert isinstance(sliced, Dataset)
+        assert len(sliced) == 2
+
+    def test_universe_computed_lazily(self):
+        objs = [box_object(0, (0, 0), (1, 1)), box_object(1, (4, 4), (5, 5))]
+        dataset = Dataset(objs)
+        assert dataset.universe == MBR((0, 0), (5, 5))
+
+    def test_universe_declared_wins(self):
+        universe = MBR((0, 0), (100, 100))
+        dataset = Dataset([box_object(0, (1, 1), (2, 2))], universe=universe)
+        assert dataset.universe is universe
+
+    def test_empty_dataset_without_universe_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Dataset([]).universe
+
+    def test_take_and_renamed(self):
+        dataset = uniform_boxes(20, seed=1)
+        assert len(dataset.take(5)) == 5
+        assert dataset.renamed("other").name == "other"
+
+    def test_repr(self):
+        assert "n=3" in repr(Dataset([box_object(i, (0,), (1,)) for i in range(3)], name="x"))
+
+
+class TestBinaryIO:
+    def test_roundtrip(self, tmp_path):
+        original = uniform_boxes(100, seed=2)
+        path = tmp_path / "data.bin"
+        written = write_dataset(original, path)
+        assert written == path.stat().st_size
+        loaded = read_dataset(path)
+        assert len(loaded) == 100
+        assert [o.mbr for o in loaded] == [o.mbr for o in original]
+
+    def test_roundtrip_2d(self, tmp_path):
+        original = uniform_boxes(50, seed=3, dim=2)
+        path = tmp_path / "data2d.bin"
+        write_dataset(original, path)
+        assert read_dataset(path).dim == 2
+
+    def test_empty_dataset_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_dataset(Dataset([], universe=MBR((0, 0), (1, 1))), path)
+        # dim of an empty dataset comes from the universe; count is zero.
+        loaded = read_dataset(path)
+        assert len(loaded) == 0
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "axons.bin"
+        write_dataset(uniform_boxes(3, seed=4), path)
+        assert read_dataset(path).name == "axons"
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValueError, match="bad magic"):
+            read_dataset(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"RP")
+        with pytest.raises(ValueError, match="truncated header"):
+            read_dataset(path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        source = tmp_path / "full.bin"
+        write_dataset(uniform_boxes(10, seed=5), source)
+        clipped = tmp_path / "clipped.bin"
+        clipped.write_bytes(source.read_bytes()[:-16])
+        with pytest.raises(ValueError, match="truncated payload"):
+            read_dataset(clipped)
+
+
+class TestTransforms:
+    def test_sample_fraction_size(self):
+        dataset = uniform_boxes(100, seed=6)
+        sample = sample_fraction(dataset, 0.25, seed=1)
+        assert len(sample) == 25
+
+    def test_sample_fraction_no_duplicates(self):
+        dataset = uniform_boxes(100, seed=7)
+        sample = sample_fraction(dataset, 0.5, seed=2)
+        ids = [o.oid for o in sample]
+        assert len(ids) == len(set(ids))
+
+    def test_sample_fraction_bad_value(self):
+        with pytest.raises(ValueError, match="fraction"):
+            sample_fraction(uniform_boxes(10, seed=8), 1.5)
+
+    def test_inflate_expands_everything(self):
+        dataset = uniform_boxes(10, seed=9)
+        fat = inflate(dataset, 3.0)
+        for thin_obj, fat_obj in zip(dataset, fat):
+            assert fat_obj.mbr == thin_obj.mbr.expand(3.0)
+        assert fat.metadata["epsilon"] == 3.0
+
+    def test_reindexed(self):
+        dataset = uniform_boxes(5, seed=10)
+        shifted = reindexed(dataset, start=100)
+        assert [o.oid for o in shifted] == [100, 101, 102, 103, 104]
+
+    def test_concat(self):
+        first = uniform_boxes(5, seed=11)
+        second = uniform_boxes(7, seed=12)
+        merged = concat(first, second)
+        assert len(merged) == 12

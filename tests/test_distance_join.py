@@ -1,0 +1,121 @@
+"""The distance-join front end: ε-reduction, join order, refinement."""
+
+import pytest
+
+from repro.core.distance_join import distance_join, inflate_dataset, spatial_join
+from repro.core.refine import exact_distance, refine_pairs
+from repro.core.touch import TouchJoin
+from repro.datasets.synthetic import uniform_boxes
+from repro.geometry.distance import Cylinder
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import SpatialObject, box_object
+from repro.joins.nested_loop import NestedLoopJoin
+
+A = uniform_boxes(80, seed=111)
+B = uniform_boxes(240, seed=112)
+
+
+def l_inf_truth(objects_a, objects_b, epsilon):
+    """Ground truth for the MBR distance join under the L-inf metric."""
+    pairs = set()
+    for a in objects_a:
+        for b in objects_b:
+            gaps = [
+                max(alo - bhi, blo - ahi, 0.0)
+                for alo, ahi, blo, bhi in zip(a.mbr.lo, a.mbr.hi, b.mbr.lo, b.mbr.hi)
+            ]
+            if max(gaps) <= epsilon:
+                pairs.add((a.oid, b.oid))
+    return pairs
+
+
+class TestEpsilonReduction:
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            distance_join(A, B, -1.0)
+
+    def test_epsilon_zero_equals_intersection_join(self):
+        plain = NestedLoopJoin().join(A, B)
+        dist = distance_join(A, B, 0.0, algorithm=NestedLoopJoin(), order="keep")
+        assert dist.pair_set() == plain.pair_set()
+
+    def test_matches_linf_ground_truth(self):
+        result = distance_join(A, B, 15.0, algorithm=NestedLoopJoin(), order="keep")
+        assert result.pair_set() == l_inf_truth(A, B, 15.0)
+
+    def test_default_algorithm_is_touch(self):
+        result = distance_join(A, B, 10.0)
+        assert result.algorithm == "TOUCH"
+        assert result.pair_set() == l_inf_truth(A, B, 10.0)
+
+    def test_bigger_epsilon_superset(self):
+        small = distance_join(A, B, 5.0)
+        big = distance_join(A, B, 10.0)
+        assert small.pair_set() <= big.pair_set()
+
+    def test_inflate_dataset_helper(self):
+        inflated = inflate_dataset(list(A)[:3], 2.0)
+        for original, fat in zip(A, inflated):
+            assert fat.mbr == original.mbr.expand(2.0)
+
+
+class TestJoinOrder:
+    def test_auto_picks_smaller_build_side(self):
+        # B smaller than A: auto must swap, pairs stay (a, b)-oriented.
+        big_a, small_b = B, A
+        swapped = distance_join(big_a, small_b, 10.0, order="auto")
+        kept = distance_join(big_a, small_b, 10.0, order="keep")
+        assert swapped.pair_set() == kept.pair_set()
+        assert swapped.parameters.get("swapped") is True
+
+    def test_explicit_swap_reorients_pairs(self):
+        result = spatial_join(A, B, NestedLoopJoin(), order="swap")
+        truth = NestedLoopJoin().join(A, B).pair_set()
+        assert result.pair_set() == truth
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            spatial_join(A, B, NestedLoopJoin(), order="sideways")
+
+    def test_all_orders_agree(self):
+        results = {
+            order: distance_join(A, B, 8.0, algorithm=TouchJoin(), order=order).pair_set()
+            for order in ("auto", "keep", "swap")
+        }
+        assert results["auto"] == results["keep"] == results["swap"]
+
+
+class TestRefinement:
+    def test_exact_distance_falls_back_to_mbr(self):
+        a = box_object(0, (0, 0), (1, 1))
+        b = box_object(1, (4, 0), (5, 1))
+        assert exact_distance(a, b) == 3.0
+
+    def test_exact_distance_uses_geometry(self):
+        cyl_a = Cylinder((0, 0, 0), (1, 0, 0), 0.5)
+        cyl_b = Cylinder((0, 4, 0), (1, 4, 0), 0.5)
+        obj_a = SpatialObject(0, cyl_a.mbr(), geometry=cyl_a)
+        obj_b = SpatialObject(1, cyl_b.mbr(), geometry=cyl_b)
+        assert exact_distance(obj_a, obj_b) == pytest.approx(3.0)
+
+    def test_refine_drops_corner_candidates(self):
+        """MBR filter is L-inf; refinement enforces Euclidean distance."""
+        a = [box_object(0, (0.0, 0.0), (1.0, 1.0))]
+        # Diagonal neighbour: L-inf distance 3, Euclidean ~4.24.
+        b = [box_object(0, (4.0, 4.0), (5.0, 5.0))]
+        candidates = distance_join(a, b, 3.5, algorithm=NestedLoopJoin(), order="keep")
+        assert candidates.pair_set() == {(0, 0)}  # filter keeps it
+        refined = distance_join(
+            a, b, 3.5, algorithm=NestedLoopJoin(), order="keep", refine=True
+        )
+        assert refined.pairs == []  # refinement rejects it
+
+    def test_refine_counts_tests(self):
+        result = distance_join(A, B, 10.0, refine=True)
+        assert result.stats.extra.get("refinement_tests", 0) >= len(result.pairs)
+
+    def test_refine_pairs_direct(self):
+        a = [box_object(0, (0, 0), (1, 1))]
+        b = [box_object(0, (2, 0), (3, 1)), box_object(1, (9, 0), (10, 1))]
+        kept = refine_pairs([(0, 0), (0, 1)], a, b, epsilon=1.5)
+        assert kept == [(0, 0)]

@@ -1,0 +1,29 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert "neuroscience_touch_detection.py" in names
+    assert "gis_collision_detection.py" in names
+    assert "algorithm_shootout.py" in names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print their findings"

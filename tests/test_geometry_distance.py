@@ -1,0 +1,127 @@
+"""Unit tests for the exact distance primitives of the refinement phase."""
+
+import math
+
+import pytest
+
+from repro.geometry.distance import (
+    Box,
+    Cylinder,
+    point_distance,
+    point_segment_distance,
+    segment_distance,
+)
+
+
+class TestPointDistance:
+    def test_same_point(self):
+        assert point_distance((1, 2, 3), (1, 2, 3)) == 0.0
+
+    def test_axis_aligned(self):
+        assert point_distance((0, 0), (3, 0)) == 3.0
+
+    def test_pythagorean(self):
+        assert point_distance((0, 0), (3, 4)) == 5.0
+
+
+class TestPointSegmentDistance:
+    def test_projection_inside_segment(self):
+        assert point_segment_distance((1, 1), (0, 0), (2, 0)) == 1.0
+
+    def test_projection_clamps_to_start(self):
+        assert point_segment_distance((-1, 1), (0, 0), (2, 0)) == pytest.approx(math.sqrt(2))
+
+    def test_projection_clamps_to_end(self):
+        assert point_segment_distance((3, 1), (0, 0), (2, 0)) == pytest.approx(math.sqrt(2))
+
+    def test_degenerate_segment_is_point_distance(self):
+        assert point_segment_distance((1, 1), (0, 0), (0, 0)) == pytest.approx(math.sqrt(2))
+
+    def test_point_on_segment(self):
+        assert point_segment_distance((1, 0), (0, 0), (2, 0)) == 0.0
+
+
+class TestSegmentDistance:
+    def test_crossing_segments(self):
+        assert segment_distance((0, -1), (0, 1), (-1, 0), (1, 0)) == 0.0
+
+    def test_parallel_segments(self):
+        assert segment_distance((0, 0), (2, 0), (0, 1), (2, 1)) == 1.0
+
+    def test_parallel_offset_segments(self):
+        # Parallel but staggered along the axis: closest at endpoints.
+        assert segment_distance((0, 0), (1, 0), (3, 1), (4, 1)) == pytest.approx(math.sqrt(5))
+
+    def test_collinear_disjoint(self):
+        assert segment_distance((0, 0), (1, 0), (3, 0), (4, 0)) == 2.0
+
+    def test_skew_segments_3d(self):
+        # Classic skew lines: z-offset of 1, crossing in xy projection.
+        d = segment_distance((0, 0, 0), (2, 0, 0), (1, -1, 1), (1, 1, 1))
+        assert d == pytest.approx(1.0)
+
+    def test_both_degenerate(self):
+        assert segment_distance((0, 0), (0, 0), (3, 4), (3, 4)) == 5.0
+
+    def test_first_degenerate(self):
+        assert segment_distance((1, 1), (1, 1), (0, 0), (2, 0)) == 1.0
+
+    def test_second_degenerate(self):
+        assert segment_distance((0, 0), (2, 0), (1, 1), (1, 1)) == 1.0
+
+    def test_symmetry(self):
+        d1 = segment_distance((0, 0, 0), (1, 2, 3), (4, 4, 4), (5, 0, 1))
+        d2 = segment_distance((4, 4, 4), (5, 0, 1), (0, 0, 0), (1, 2, 3))
+        assert d1 == pytest.approx(d2)
+
+    def test_shared_endpoint(self):
+        assert segment_distance((0, 0), (1, 1), (1, 1), (2, 0)) == 0.0
+
+
+class TestCylinder:
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Cylinder((0, 0, 0), (1, 0, 0), -1.0)
+
+    def test_mbr_includes_radius(self):
+        cyl = Cylinder((0, 0, 0), (2, 0, 0), 0.5)
+        mbr = cyl.mbr()
+        assert mbr.lo == (-0.5, -0.5, -0.5)
+        assert mbr.hi == (2.5, 0.5, 0.5)
+
+    def test_mbr_handles_reversed_axis(self):
+        cyl = Cylinder((2, 0, 0), (0, 0, 0), 0.5)
+        assert cyl.mbr().lo == (-0.5, -0.5, -0.5)
+
+    def test_distance_between_parallel_cylinders(self):
+        a = Cylinder((0, 0, 0), (2, 0, 0), 0.25)
+        b = Cylinder((0, 2, 0), (2, 2, 0), 0.25)
+        assert a.min_distance(b) == pytest.approx(1.5)
+
+    def test_overlapping_cylinders_distance_zero(self):
+        a = Cylinder((0, 0, 0), (2, 0, 0), 0.5)
+        b = Cylinder((1, 0.5, 0), (1, 2, 0), 0.5)
+        assert a.min_distance(b) == 0.0
+
+    def test_touch_detection_threshold(self):
+        # The synapse-placement rule: within eps iff axis distance <= eps + radii.
+        a = Cylinder((0, 0, 0), (1, 0, 0), 0.5)
+        b = Cylinder((0, 3, 0), (1, 3, 0), 0.5)
+        assert a.min_distance(b) == pytest.approx(2.0)
+
+    def test_distance_consistent_with_mbr_lower_bound(self):
+        a = Cylinder((0, 0, 0), (2, 1, 0), 0.3)
+        b = Cylinder((5, 5, 5), (6, 6, 6), 0.2)
+        assert a.min_distance(b) >= a.mbr().min_distance(b.mbr()) - 1e-9
+
+
+class TestBox:
+    def test_mbr_is_self(self):
+        box = Box((0, 0), (1, 2))
+        assert box.mbr().lo == (0.0, 0.0)
+        assert box.mbr().hi == (1.0, 2.0)
+
+    def test_distance_matches_mbr_distance(self):
+        a = Box((0, 0), (1, 1))
+        b = Box((4, 0), (5, 1))
+        assert a.min_distance(b) == 3.0

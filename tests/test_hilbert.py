@@ -1,0 +1,66 @@
+"""Unit tests for the Hilbert-curve encoder."""
+
+import itertools
+
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.rtree.hilbert import hilbert_index, hilbert_key_function
+
+
+class TestHilbertIndex:
+    def test_rejects_empty_coords(self):
+        with pytest.raises(ValueError, match="at least one"):
+            hilbert_index((), 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            hilbert_index((16,), 4)
+        with pytest.raises(ValueError, match="outside"):
+            hilbert_index((-1, 0), 4)
+
+    @pytest.mark.parametrize("dim", [2, 3])
+    def test_bijective_on_small_grid(self, dim):
+        order = 3
+        side = 1 << order
+        indices = {
+            hilbert_index(coords, order)
+            for coords in itertools.product(range(side), repeat=dim)
+        }
+        assert len(indices) == side**dim
+        assert min(indices) == 0
+        assert max(indices) == side**dim - 1
+
+    def test_locality_neighbours_are_close_2d(self):
+        """Consecutive Hilbert indices must be grid neighbours."""
+        order = 4
+        side = 1 << order
+        by_index = {}
+        for coords in itertools.product(range(side), repeat=2):
+            by_index[hilbert_index(coords, order)] = coords
+        for i in range(side * side - 1):
+            (x1, y1), (x2, y2) = by_index[i], by_index[i + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_1d_is_identity(self):
+        for value in range(16):
+            assert hilbert_index((value,), 4) == value
+
+
+class TestHilbertKeyFunction:
+    def test_keys_are_distinct_for_spread_boxes(self):
+        universe = MBR((0.0, 0.0), (100.0, 100.0))
+        key = hilbert_key_function(universe, order=8)
+        boxes = [MBR((i, i), (i + 1, i + 1)) for i in range(0, 90, 10)]
+        keys = [key(box) for box in boxes]
+        assert len(set(keys)) == len(keys)
+
+    def test_clamps_outside_universe(self):
+        universe = MBR((0.0, 0.0), (10.0, 10.0))
+        key = hilbert_key_function(universe, order=4)
+        assert key(MBR((-50, -50), (-40, -40))) == key(MBR((0, 0), (0.01, 0.01)))
+
+    def test_degenerate_universe_dimension(self):
+        universe = MBR((0.0, 5.0), (10.0, 5.0))
+        key = hilbert_key_function(universe, order=4)
+        assert isinstance(key(MBR((1, 5), (2, 5))), int)

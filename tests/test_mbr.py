@@ -1,0 +1,215 @@
+"""Unit tests for the MBR primitive."""
+
+import math
+
+import pytest
+
+from repro.geometry.mbr import MBR, mbr_of_points, total_mbr
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = MBR((0.0, 1.0), (2.0, 3.0))
+        assert box.lo == (0.0, 1.0)
+        assert box.hi == (2.0, 3.0)
+
+    def test_coerces_ints_to_floats(self):
+        box = MBR((0, 1), (2, 3))
+        assert box.lo == (0.0, 1.0)
+        assert isinstance(box.lo[0], float)
+
+    def test_dim(self):
+        assert MBR((0,), (1,)).dim == 1
+        assert MBR((0, 0, 0), (1, 1, 1)).dim == 3
+
+    def test_degenerate_point_box_allowed(self):
+        box = MBR((1.0, 2.0), (1.0, 2.0))
+        assert box.volume() == 0.0
+
+    def test_rejects_inverted_corners(self):
+        with pytest.raises(ValueError, match="hi < lo"):
+            MBR((2.0,), (1.0,))
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            MBR((0.0, 0.0), (1.0,))
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            MBR((), ())
+
+    def test_immutable(self):
+        box = MBR((0.0,), (1.0,))
+        with pytest.raises(AttributeError):
+            box.lo = (5.0,)
+
+    def test_equality_and_hash(self):
+        a = MBR((0.0, 0.0), (1.0, 1.0))
+        b = MBR((0, 0), (1, 1))
+        c = MBR((0.0, 0.0), (2.0, 1.0))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not an mbr"
+
+    def test_repr_roundtrip(self):
+        box = MBR((0.0, 0.0), (1.0, 2.0))
+        assert eval(repr(box)) == box
+
+    def test_iter_yields_intervals(self):
+        box = MBR((0.0, 1.0), (2.0, 3.0))
+        assert list(box) == [(0.0, 2.0), (1.0, 3.0)]
+
+    def test_picklable_despite_immutability(self):
+        import pickle
+
+        box = MBR((0.0, 1.0), (2.0, 3.0))
+        assert pickle.loads(pickle.dumps(box)) == box
+
+    def test_spatial_object_picklable(self):
+        import pickle
+
+        from repro.geometry.objects import box_object
+
+        obj = box_object(7, (0, 0), (1, 1))
+        clone = pickle.loads(pickle.dumps(obj))
+        assert clone.oid == 7 and clone.mbr == obj.mbr
+
+
+class TestPredicates:
+    def test_overlapping_boxes_intersect(self):
+        assert MBR((0, 0), (2, 2)).intersects(MBR((1, 1), (3, 3)))
+
+    def test_disjoint_boxes_do_not_intersect(self):
+        assert not MBR((0, 0), (1, 1)).intersects(MBR((2, 2), (3, 3)))
+
+    def test_touching_edges_intersect(self):
+        # Closed-box semantics: shared boundary counts.
+        assert MBR((0, 0), (1, 1)).intersects(MBR((1, 0), (2, 1)))
+
+    def test_touching_corner_intersects(self):
+        assert MBR((0, 0), (1, 1)).intersects(MBR((1, 1), (2, 2)))
+
+    def test_disjoint_in_one_dimension_only(self):
+        # Overlap in x but not in y.
+        assert not MBR((0, 0), (2, 1)).intersects(MBR((1, 5), (3, 6)))
+
+    def test_containment_intersects(self):
+        outer = MBR((0, 0), (10, 10))
+        inner = MBR((4, 4), (5, 5))
+        assert outer.intersects(inner)
+        assert inner.intersects(outer)
+
+    def test_contains(self):
+        outer = MBR((0, 0), (10, 10))
+        assert outer.contains(MBR((1, 1), (9, 9)))
+        assert outer.contains(outer)
+        assert not outer.contains(MBR((5, 5), (11, 11)))
+
+    def test_contains_point(self):
+        box = MBR((0, 0), (1, 1))
+        assert box.contains_point((0.5, 0.5))
+        assert box.contains_point((0.0, 1.0))  # boundary
+        assert not box.contains_point((1.5, 0.5))
+
+    def test_intersects_symmetry(self):
+        a = MBR((0, 0, 0), (3, 3, 3))
+        b = MBR((2, 2, 2), (5, 5, 5))
+        assert a.intersects(b) == b.intersects(a)
+
+
+class TestOperations:
+    def test_union(self):
+        union = MBR((0, 0), (1, 1)).union(MBR((2, 2), (3, 3)))
+        assert union == MBR((0, 0), (3, 3))
+
+    def test_intersection_of_overlapping(self):
+        inter = MBR((0, 0), (2, 2)).intersection(MBR((1, 1), (3, 3)))
+        assert inter == MBR((1, 1), (2, 2))
+
+    def test_intersection_of_disjoint_is_none(self):
+        assert MBR((0, 0), (1, 1)).intersection(MBR((2, 2), (3, 3))) is None
+
+    def test_intersection_of_touching_is_degenerate(self):
+        inter = MBR((0, 0), (1, 1)).intersection(MBR((1, 0), (2, 1)))
+        assert inter == MBR((1, 0), (1, 1))
+        assert inter.volume() == 0.0
+
+    def test_expand(self):
+        box = MBR((2, 2), (4, 4)).expand(1.0)
+        assert box == MBR((1, 1), (5, 5))
+
+    def test_expand_zero_is_identity(self):
+        box = MBR((0, 0), (1, 1))
+        assert box.expand(0.0) == box
+
+    def test_expand_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MBR((0,), (1,)).expand(-1.0)
+
+    def test_expand_implements_epsilon_reduction(self):
+        # distance(a, b) <= eps  iff  a.expand(eps) intersects b (L-inf).
+        a = MBR((0.0,), (1.0,))
+        b = MBR((3.0,), (4.0,))
+        assert a.min_distance(b) == 2.0
+        assert a.expand(2.0).intersects(b)
+        assert not a.expand(1.9).intersects(b)
+
+    def test_translate(self):
+        assert MBR((0, 0), (1, 1)).translate((5, -1)) == MBR((5, -1), (6, 0))
+
+
+class TestMeasures:
+    def test_volume_2d(self):
+        assert MBR((0, 0), (2, 3)).volume() == 6.0
+
+    def test_volume_3d(self):
+        assert MBR((0, 0, 0), (2, 3, 4)).volume() == 24.0
+
+    def test_margin(self):
+        assert MBR((0, 0), (2, 3)).margin() == 5.0
+
+    def test_center(self):
+        assert MBR((0, 0), (2, 4)).center() == (1.0, 2.0)
+
+    def test_side_lengths(self):
+        assert MBR((1, 1), (2, 4)).side_lengths() == (1.0, 3.0)
+
+    def test_min_distance_overlapping_is_zero(self):
+        assert MBR((0, 0), (2, 2)).min_distance(MBR((1, 1), (3, 3))) == 0.0
+
+    def test_min_distance_axis_gap(self):
+        assert MBR((0, 0), (1, 1)).min_distance(MBR((3, 0), (4, 1))) == 2.0
+
+    def test_min_distance_diagonal(self):
+        distance = MBR((0, 0), (1, 1)).min_distance(MBR((2, 2), (3, 3)))
+        assert distance == pytest.approx(math.sqrt(2.0))
+
+    def test_overlap_volume(self):
+        assert MBR((0, 0), (2, 2)).overlap_volume(MBR((1, 1), (3, 3))) == 1.0
+        assert MBR((0, 0), (1, 1)).overlap_volume(MBR((5, 5), (6, 6))) == 0.0
+
+
+class TestAggregates:
+    def test_mbr_of_points(self):
+        box = mbr_of_points([(0, 5), (3, 1), (2, 2)])
+        assert box == MBR((0, 1), (3, 5))
+
+    def test_mbr_of_points_single(self):
+        assert mbr_of_points([(1, 1)]) == MBR((1, 1), (1, 1))
+
+    def test_mbr_of_points_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            mbr_of_points([])
+
+    def test_total_mbr(self):
+        box = total_mbr([MBR((0, 0), (1, 1)), MBR((5, -2), (6, 0))])
+        assert box == MBR((0, -2), (6, 1))
+
+    def test_total_mbr_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            total_mbr([])
+
+    def test_total_mbr_accepts_generator(self):
+        boxes = (MBR((i, i), (i + 1, i + 1)) for i in range(3))
+        assert total_mbr(boxes) == MBR((0, 0), (3, 3))

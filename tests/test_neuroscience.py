@@ -1,0 +1,120 @@
+"""The synthetic neuroscience model generator (rat-brain substitute)."""
+
+import pytest
+
+from repro.datasets.neuroscience import (
+    NeuronModelGenerator,
+    density_subsets,
+    neuroscience_datasets,
+)
+from repro.geometry.distance import Cylinder
+
+
+@pytest.fixture(scope="module")
+def model():
+    return neuroscience_datasets(n_neurons=8, seed=1)
+
+
+class TestGeneration:
+    def test_rejects_bad_neuron_count(self):
+        with pytest.raises(ValueError, match="n_neurons"):
+            NeuronModelGenerator(n_neurons=0)
+
+    def test_axon_dendrite_ratio(self, model):
+        """The paper's subset has roughly 1 : 2 axons : dendrites."""
+        axons, dendrites = model
+        ratio = len(dendrites) / len(axons)
+        assert 1.5 <= ratio <= 2.8
+
+    def test_objects_carry_cylinder_geometry(self, model):
+        axons, dendrites = model
+        assert all(isinstance(o.geometry, Cylinder) for o in axons)
+        assert all(isinstance(o.geometry, Cylinder) for o in dendrites)
+
+    def test_mbr_matches_geometry(self, model):
+        axons, _ = model
+        for obj in list(axons)[:50]:
+            assert obj.mbr == obj.geometry.mbr()
+
+    def test_inside_universe(self, model):
+        axons, dendrites = model
+        for dataset in (axons, dendrites):
+            for obj in dataset:
+                assert dataset.universe.expand(5.0).contains(obj.mbr)
+
+    def test_reproducible(self):
+        first_a, first_d = neuroscience_datasets(n_neurons=4, seed=9)
+        second_a, second_d = neuroscience_datasets(n_neurons=4, seed=9)
+        assert [o.mbr for o in first_a] == [o.mbr for o in second_a]
+        assert len(first_d) == len(second_d)
+
+    def test_dense_core_sparse_rim(self):
+        """The density profile the paper's filtering relies on."""
+        axons, _ = neuroscience_datasets(n_neurons=20, seed=3)
+        space = axons.universe.hi[0]
+        core = sum(
+            1
+            for o in axons
+            if all(space * 0.25 <= c <= space * 0.75 for c in o.mbr.center())
+        )
+        # Core octant holds far more than its 12.5% volume share.
+        assert core / len(axons) > 0.4
+
+    def test_more_neurons_more_cylinders(self):
+        small_a, _ = neuroscience_datasets(n_neurons=3, seed=5)
+        large_a, _ = neuroscience_datasets(n_neurons=12, seed=5)
+        assert len(large_a) > len(small_a)
+
+    def test_branching_produces_extra_segments(self):
+        no_branch = NeuronModelGenerator(
+            n_neurons=5, seed=7, branch_probability=0.0
+        ).generate()[0]
+        branchy = NeuronModelGenerator(
+            n_neurons=5, seed=7, branch_probability=0.3
+        ).generate()[0]
+        assert len(branchy) > len(no_branch)
+
+
+class TestDensitySubsets:
+    def test_fractions_respected(self, model):
+        axons, dendrites = model
+        subsets = density_subsets(axons, dendrites, fractions=(0.25, 0.5, 1.0), seed=1)
+        assert len(subsets) == 3
+        for fraction, subset_a, subset_b in subsets:
+            assert len(subset_a) == max(1, int(len(axons) * fraction))
+            assert len(subset_b) == max(1, int(len(dendrites) * fraction))
+
+    def test_rejects_bad_fraction(self, model):
+        axons, dendrites = model
+        with pytest.raises(ValueError, match="fractions"):
+            density_subsets(axons, dendrites, fractions=(0.0,))
+
+    def test_subsets_are_nested(self, model):
+        """Growing density adds objects without replacing earlier ones."""
+        axons, dendrites = model
+        subsets = density_subsets(axons, dendrites, fractions=(0.3, 0.6, 1.0), seed=2)
+        ids = [frozenset(o.oid for o in subset_a) for _, subset_a, _ in subsets]
+        assert ids[0] < ids[1] < ids[2]
+
+    def test_full_fraction_is_whole_dataset(self, model):
+        axons, dendrites = model
+        _, subset_a, subset_b = density_subsets(
+            axons, dendrites, fractions=(1.0,), seed=3
+        )[0]
+        assert len(subset_a) == len(axons)
+        assert len(subset_b) == len(dendrites)
+
+
+class TestTouchDetectionUseCase:
+    def test_distance_join_with_refinement(self, model):
+        """The end-to-end synapse-placement pipeline."""
+        from repro.core.distance_join import distance_join
+
+        axons, dendrites = model
+        candidates = distance_join(axons, dendrites, epsilon=3.0, order="keep")
+        refined = distance_join(axons, dendrites, epsilon=3.0, order="keep", refine=True)
+        assert set(refined.pairs) <= set(candidates.pairs)
+        for oid_a, oid_b in list(refined.pairs)[:20]:
+            cyl_a = axons[oid_a].geometry
+            cyl_b = dendrites[oid_b].geometry
+            assert cyl_a.min_distance(cyl_b) <= 3.0 + 1e-9

@@ -1,0 +1,65 @@
+"""Unit tests for spatial objects."""
+
+import pytest
+
+from repro.geometry.distance import Cylinder
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import (
+    SpatialObject,
+    box_object,
+    objects_from_mbrs,
+    point_object,
+)
+
+
+class TestSpatialObject:
+    def test_basic_fields(self):
+        mbr = MBR((0, 0), (1, 1))
+        obj = SpatialObject(7, mbr)
+        assert obj.oid == 7
+        assert obj.mbr is mbr
+        assert obj.geometry is None
+
+    def test_equality_ignores_geometry(self):
+        mbr = MBR((0, 0), (1, 1))
+        assert SpatialObject(1, mbr) == SpatialObject(1, mbr)
+        assert SpatialObject(1, mbr) != SpatialObject(2, mbr)
+        assert SpatialObject(1, mbr) != "something"
+
+    def test_hashable(self):
+        mbr = MBR((0, 0), (1, 1))
+        assert len({SpatialObject(1, mbr), SpatialObject(1, mbr)}) == 1
+
+    def test_inflated_expands_mbr(self):
+        obj = box_object(1, (2, 2), (3, 3))
+        fat = obj.inflated(1.0)
+        assert fat.mbr == MBR((1, 1), (4, 4))
+        assert fat.oid == 1
+
+    def test_inflated_zero_returns_same_object(self):
+        obj = box_object(1, (0, 0), (1, 1))
+        assert obj.inflated(0.0) is obj
+
+    def test_inflated_preserves_geometry(self):
+        cyl = Cylinder((0, 0, 0), (1, 0, 0), 0.5)
+        obj = SpatialObject(1, cyl.mbr(), geometry=cyl)
+        assert obj.inflated(2.0).geometry is cyl
+
+    def test_repr_contains_oid(self):
+        assert "oid=3" in repr(box_object(3, (0,), (1,)))
+
+
+class TestConstructors:
+    def test_box_object(self):
+        obj = box_object(5, (0, 0, 0), (1, 2, 3))
+        assert obj.mbr.volume() == 6.0
+
+    def test_point_object_is_degenerate(self):
+        obj = point_object(5, (1.0, 2.0))
+        assert obj.mbr.lo == obj.mbr.hi == (1.0, 2.0)
+
+    def test_objects_from_mbrs_sequential_ids(self):
+        mbrs = [MBR((i, i), (i + 1, i + 1)) for i in range(3)]
+        objs = objects_from_mbrs(mbrs, start_oid=10)
+        assert [o.oid for o in objs] == [10, 11, 12]
+        assert objs[1].mbr == mbrs[1]

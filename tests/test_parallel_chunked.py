@@ -1,0 +1,106 @@
+"""Chunked execution: the BlueGene/P decomposition must be lossless."""
+
+import pytest
+
+from repro.datasets.synthetic import clustered_boxes, uniform_boxes
+from repro.joins.nested_loop import NestedLoopJoin
+from repro.joins.registry import make_algorithm
+from repro.parallel.chunked import ChunkedSpatialJoin, slab_bounds
+from repro.validation import assert_matches_ground_truth
+
+A = uniform_boxes(80, seed=121, side_range=(0.0, 30.0))
+B = uniform_boxes(240, seed=122, side_range=(0.0, 30.0))
+
+
+class TestSlabBounds:
+    def test_even_split(self):
+        assert slab_bounds(0.0, 10.0, 2) == [(0.0, 5.0), (5.0, 10.0)]
+
+    def test_single_chunk(self):
+        assert slab_bounds(0.0, 10.0, 1) == [(0.0, 10.0)]
+
+    def test_last_slab_closed_at_hi(self):
+        bounds = slab_bounds(0.0, 1.0, 3)
+        assert bounds[-1][1] == 1.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="n_chunks"):
+            slab_bounds(0.0, 1.0, 0)
+        with pytest.raises(ValueError, match="invalid interval"):
+            slab_bounds(1.0, 0.0, 2)
+
+
+class TestChunkedJoin:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="n_chunks"):
+            ChunkedSpatialJoin(NestedLoopJoin, n_chunks=0)
+        with pytest.raises(ValueError, match="axis"):
+            ChunkedSpatialJoin(NestedLoopJoin, axis=-1)
+
+    def test_name_reflects_base(self):
+        join = ChunkedSpatialJoin(lambda: make_algorithm("TOUCH"), n_chunks=4)
+        assert join.name == "Chunked[TOUCHx4]"
+
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 7])
+    def test_equals_global_join(self, n_chunks):
+        chunked = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=n_chunks)
+        result = chunked.join(A, B)
+        assert_matches_ground_truth(result, A, B)
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_any_axis(self, axis):
+        chunked = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=4, axis=axis)
+        assert_matches_ground_truth(chunked.join(A, B), A, B)
+
+    def test_axis_out_of_range(self):
+        chunked = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=2, axis=9)
+        with pytest.raises(ValueError, match="out of range"):
+            chunked.join(A, B)
+
+    def test_with_touch_base(self):
+        chunked = ChunkedSpatialJoin(lambda: make_algorithm("TOUCH"), n_chunks=4)
+        assert_matches_ground_truth(chunked.join(A, B), A, B)
+
+    def test_with_pbsm_base(self):
+        chunked = ChunkedSpatialJoin(
+            lambda: make_algorithm("PBSM-100"), n_chunks=3
+        )
+        assert_matches_ground_truth(chunked.join(A, B), A, B)
+
+    def test_boundary_straddlers_not_duplicated(self):
+        """Objects crossing slab borders are seen twice, reported once."""
+        from repro.geometry.objects import box_object
+
+        # One object exactly astride the 2-chunk boundary of [0, 10].
+        a = [box_object(0, (4.0, 0.0), (6.0, 1.0))]
+        b = [box_object(0, (4.5, 0.0), (5.5, 1.0))]
+        chunked = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=2)
+        result = chunked.join(a, b)
+        assert result.pairs == [(0, 0)]
+        assert result.stats.duplicates_suppressed >= 1
+
+    def test_statistics_merged(self):
+        chunked = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=4)
+        result = chunked.join(A, B)
+        # Total comparisons across chunks at least cover the pairs found.
+        assert result.stats.comparisons >= len(result.pairs)
+        assert result.stats.extra["n_chunks"] == 4
+
+    def test_memory_is_per_chunk_peak(self):
+        one = ChunkedSpatialJoin(lambda: make_algorithm("TOUCH"), n_chunks=1).join(A, B)
+        many = ChunkedSpatialJoin(lambda: make_algorithm("TOUCH"), n_chunks=8).join(A, B)
+        # A single chunk holds everything; eight chunks each hold less.
+        assert many.stats.memory_bytes <= one.stats.memory_bytes
+
+    def test_clustered_data(self):
+        clustered_a = clustered_boxes(60, seed=123, n_clusters=4)
+        clustered_b = clustered_boxes(180, seed=124, n_clusters=4)
+        chunked = ChunkedSpatialJoin(lambda: make_algorithm("TOUCH"), n_chunks=5)
+        assert_matches_ground_truth(
+            chunked.join(clustered_a, clustered_b), clustered_a, clustered_b
+        )
+
+    def test_empty_inputs(self):
+        chunked = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=4)
+        assert chunked.join([], B).pairs == []
+        assert chunked.join(A, []).pairs == []

@@ -1,0 +1,113 @@
+"""PBSM-specific behaviour: multiple assignment, replication, dedup."""
+
+import pytest
+
+from repro.datasets.synthetic import uniform_boxes
+from repro.datasets.transform import inflate
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import box_object
+from repro.joins.pbsm import PBSMJoin
+from repro.validation import assert_matches_ground_truth
+
+
+class TestConfiguration:
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            PBSMJoin(resolution=0)
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            PBSMJoin(local_kernel="bogus")
+
+    def test_name_includes_resolution(self):
+        assert PBSMJoin(resolution=500).name == "PBSM-500"
+        assert PBSMJoin(resolution=100).name == "PBSM-100"
+
+    def test_cell_size_configuration_is_scale_invariant_naming(self):
+        # The paper's configs expressed in cell units keep their names.
+        assert PBSMJoin(cell_size=2.0).name == "PBSM-500"
+        assert PBSMJoin(cell_size=10.0).name == "PBSM-100"
+
+    def test_resolution_and_cell_size_exclusive(self):
+        with pytest.raises(ValueError, match="at most one"):
+            PBSMJoin(resolution=10, cell_size=1.0)
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            PBSMJoin(cell_size=0.0)
+
+    def test_cell_size_join_correct(self):
+        a = uniform_boxes(40, seed=53, side_range=(0.0, 60.0))
+        b = uniform_boxes(80, seed=54, side_range=(0.0, 60.0))
+        result = PBSMJoin(cell_size=50.0).join(a, b)
+        assert_matches_ground_truth(result, a, b)
+
+    def test_describe(self):
+        info = PBSMJoin(resolution=42, local_kernel="nested").describe()
+        assert info == {"resolution": 42, "cell_size": None, "local_kernel": "nested"}
+
+
+class TestReplication:
+    def test_replication_counted(self):
+        a = uniform_boxes(50, seed=41)
+        b = uniform_boxes(100, seed=42)
+        inflated = inflate(a, 10.0)  # inflated objects span many cells
+        result = PBSMJoin(resolution=100).join(inflated, b)
+        assert result.stats.replicated_entries > 0
+
+    def test_finer_grid_replicates_more(self):
+        a = inflate(uniform_boxes(50, seed=43), 10.0)
+        b = uniform_boxes(100, seed=44)
+        coarse = PBSMJoin(resolution=50).join(a, b)
+        fine = PBSMJoin(resolution=400).join(a, b)
+        assert fine.stats.replicated_entries > coarse.stats.replicated_entries
+        assert fine.stats.memory_bytes > coarse.stats.memory_bytes
+
+    def test_epsilon_superlinear_replication(self):
+        """The Figure 12 effect: replication grows super-linearly in eps."""
+        base = uniform_boxes(50, seed=45)
+        b = uniform_boxes(100, seed=46)
+        joiner = PBSMJoin(resolution=200)
+        rep5 = joiner.join(inflate(base, 5.0), b).stats.replicated_entries
+        rep10 = joiner.join(inflate(base, 10.0), b).stats.replicated_entries
+        assert rep10 > 2 * rep5 * 0.8  # clearly super-linear territory
+
+
+class TestDeduplication:
+    def test_pair_spanning_many_cells_reported_once(self):
+        # One huge object overlapping one huge object: hundreds of common
+        # cells, exactly one result pair.
+        a = [box_object(0, (0, 0), (900, 900))]
+        b = [box_object(0, (100, 100), (800, 800))]
+        result = PBSMJoin(resolution=30).join(a, b)
+        assert result.pairs == [(0, 0)]
+        assert result.stats.duplicates_suppressed > 0
+
+    def test_correct_on_dense_overlapping_data(self):
+        a = uniform_boxes(60, seed=47, side_range=(0.0, 120.0))
+        b = uniform_boxes(120, seed=48, side_range=(0.0, 120.0))
+        result = PBSMJoin(resolution=40).join(a, b)
+        assert_matches_ground_truth(result, a, b)
+
+
+class TestUniverseHandling:
+    def test_explicit_universe(self):
+        universe = MBR((0.0, 0.0, 0.0), (1000.0, 1000.0, 1000.0))
+        a = uniform_boxes(40, seed=49)
+        b = uniform_boxes(80, seed=50)
+        result = PBSMJoin(resolution=50, universe=universe).join(a, b)
+        assert_matches_ground_truth(result, a, b)
+
+    def test_objects_outside_declared_universe_are_clamped(self):
+        universe = MBR((0.0, 0.0), (10.0, 10.0))
+        a = [box_object(0, (-5, -5), (-4, -4)), box_object(1, (1, 1), (2, 2))]
+        b = [box_object(0, (-4.5, -4.5), (-4.2, -4.2)), box_object(1, (1.5, 1.5), (3, 3))]
+        result = PBSMJoin(resolution=5, universe=universe).join(a, b)
+        assert result.pair_set() == {(0, 0), (1, 1)}
+
+    def test_resolution_one_degenerates_to_single_cell(self):
+        a = uniform_boxes(30, seed=51)
+        b = uniform_boxes(60, seed=52)
+        result = PBSMJoin(resolution=1).join(a, b)
+        assert_matches_ground_truth(result, a, b)
+        assert result.stats.replicated_entries == 0

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These generate adversarial inputs — degenerate boxes, shared edges,
+containment towers, duplicate coordinates — and check the paper's
+theorems: every algorithm returns exactly the ground-truth pair set
+(Theorem 1 + Lemma 3), plus structural invariants of the substrates.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import assign_dataset_b
+from repro.core.touch import TouchJoin
+from repro.core.tree import TouchTree
+from repro.geometry.mbr import MBR, total_mbr
+from repro.geometry.objects import SpatialObject
+from repro.grid.uniform import UniformGrid
+from repro.joins.registry import algorithm_names, make_algorithm
+from repro.rtree.rtree import RTree
+from repro.rtree.str_pack import str_partition
+from repro.validation import assert_matches_ground_truth, brute_force_pairs
+
+# -- strategies -------------------------------------------------------------
+
+coordinate = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False, width=32
+)
+side = st.floats(min_value=0.0, max_value=40.0, allow_nan=False, width=32)
+
+
+@st.composite
+def mbr_strategy(draw, dim=2):
+    lo = [draw(coordinate) for _ in range(dim)]
+    hi = [lo_c + draw(side) for lo_c in lo]
+    return MBR(lo, hi)
+
+
+@st.composite
+def objects_strategy(draw, dim=2, max_size=24):
+    mbrs = draw(st.lists(mbr_strategy(dim=dim), min_size=0, max_size=max_size))
+    return [SpatialObject(i, mbr) for i, mbr in enumerate(mbrs)]
+
+
+@st.composite
+def dataset_pair(draw, dim=2):
+    return draw(objects_strategy(dim=dim)), draw(objects_strategy(dim=dim))
+
+
+# -- MBR algebra -----------------------------------------------------------
+
+
+class TestMBRProperties:
+    @given(mbr_strategy(), mbr_strategy())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(mbr_strategy(), mbr_strategy())
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert union.contains(a) and union.contains(b)
+
+    @given(mbr_strategy(), mbr_strategy())
+    def test_intersection_consistent_with_predicate(self, a, b):
+        inter = a.intersection(b)
+        assert (inter is not None) == a.intersects(b)
+        if inter is not None:
+            assert a.contains(inter) and b.contains(inter)
+
+    @given(mbr_strategy(), st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    def test_expand_monotone(self, box, eps):
+        assert box.expand(eps).contains(box)
+
+    @given(mbr_strategy(), mbr_strategy())
+    def test_min_distance_zero_iff_intersecting(self, a, b):
+        if a.intersects(b):
+            assert a.min_distance(b) == 0.0
+        else:
+            assert a.min_distance(b) > 0.0
+
+    @given(mbr_strategy(), mbr_strategy())
+    def test_epsilon_reduction_linf(self, a, b):
+        """a.expand(eps) hits b  iff  per-axis gap <= eps (L-inf)."""
+        gaps = [
+            max(alo - bhi, blo - ahi, 0.0)
+            for alo, ahi, blo, bhi in zip(a.lo, a.hi, b.lo, b.hi)
+        ]
+        eps = 1.5
+        assert a.expand(eps).intersects(b) == (max(gaps) <= eps)
+
+
+# -- the grand join equivalence property -------------------------------------
+
+
+class TestJoinEquivalence:
+    @given(dataset_pair())
+    @settings(max_examples=25)
+    def test_touch_matches_truth_2d(self, pair):
+        objects_a, objects_b = pair
+        result = TouchJoin(num_partitions=8).join(objects_a, objects_b)
+        assert_matches_ground_truth(result, objects_a, objects_b)
+
+    @given(dataset_pair(dim=3))
+    @settings(max_examples=15)
+    def test_touch_matches_truth_3d(self, pair):
+        objects_a, objects_b = pair
+        result = TouchJoin(num_partitions=8).join(objects_a, objects_b)
+        assert_matches_ground_truth(result, objects_a, objects_b)
+
+    @given(dataset_pair(), st.sampled_from(sorted(algorithm_names())))
+    @settings(max_examples=30)
+    def test_every_algorithm_matches_truth(self, pair, name):
+        objects_a, objects_b = pair
+        result = make_algorithm(name).join(objects_a, objects_b)
+        assert_matches_ground_truth(result, objects_a, objects_b)
+
+
+# -- substrate invariants -----------------------------------------------------
+
+
+class TestStrProperties:
+    @given(objects_strategy(max_size=40), st.integers(min_value=1, max_value=9))
+    def test_partition_is_exact_cover(self, objects, capacity):
+        groups = str_partition(
+            objects, capacity, center_of=lambda o: o.mbr.center(), dim=2
+        )
+        flattened = sorted(o.oid for g in groups for o in g)
+        assert flattened == sorted(o.oid for o in objects)
+        assert all(len(g) <= capacity for g in groups)
+
+
+class TestRTreeProperties:
+    @given(objects_strategy(min_boxes := 1, max_size=30), mbr_strategy())
+    @settings(max_examples=25)
+    def test_query_equals_scan(self, objects, query):
+        if not objects:
+            return
+        tree = RTree(objects, fanout=3)
+        expected = {o.oid for o in objects if query.intersects(o.mbr)}
+        assert {o.oid for o in tree.query(query)} == expected
+
+    @given(objects_strategy(max_size=30))
+    def test_mbr_containment_invariant(self, objects):
+        if not objects:
+            return
+        tree = RTree(objects, fanout=2)
+        for node in tree.iter_nodes():
+            children_mbrs = (
+                [o.mbr for o in node.objects]
+                if node.is_leaf
+                else [c.mbr for c in node.children]
+            )
+            assert node.mbr == total_mbr(children_mbrs)
+
+
+class TestGridProperties:
+    @given(objects_strategy(max_size=20), st.integers(min_value=1, max_value=9))
+    def test_every_object_in_every_overlapped_cell(self, objects, resolution):
+        if not objects:
+            return
+        universe = total_mbr(o.mbr for o in objects)
+        grid = UniformGrid(universe, resolution=resolution)
+        for obj in objects:
+            grid.insert(obj, obj.mbr)
+        for obj in objects:
+            for coords in grid.cells_overlapping(obj.mbr):
+                assert obj in grid.items_in_cell(coords)
+
+    @given(mbr_strategy(), mbr_strategy(), st.integers(min_value=1, max_value=8))
+    def test_reference_point_unique_owner(self, a, b, resolution):
+        if not a.intersects(b):
+            return
+        universe = a.union(b)
+        grid = UniformGrid(universe, resolution=resolution)
+        common = set(grid.cells_overlapping(a)) & set(grid.cells_overlapping(b))
+        owners = [c for c in common if grid.owns_pair(c, a, b)]
+        assert len(owners) == 1
+
+
+class TestTouchStructuralProperties:
+    @given(objects_strategy(max_size=30), objects_strategy(max_size=30))
+    @settings(max_examples=25)
+    def test_single_assignment_and_overlap(self, objects_a, objects_b):
+        if not objects_a:
+            return
+        tree = TouchTree(objects_a, fanout=2, num_partitions=6)
+        assign_dataset_b(tree, objects_b)
+        seen = set()
+        for node in tree.iter_nodes():
+            for obj in node.entities_b:
+                assert obj.oid not in seen  # Lemma 3 precondition
+                seen.add(obj.oid)
+                assert node.mbr.intersects(obj.mbr)
+
+    @given(objects_strategy(max_size=30), objects_strategy(max_size=30))
+    @settings(max_examples=25)
+    def test_filtered_objects_join_nothing(self, objects_a, objects_b):
+        """Lemma 1: filtering never discards a joining object."""
+        if not objects_a:
+            return
+        tree = TouchTree(objects_a, fanout=2, num_partitions=6)
+        assign_dataset_b(tree, objects_b)
+        assigned = {
+            o.oid for node in tree.iter_nodes() for o in node.entities_b
+        }
+        truth = brute_force_pairs(objects_a, objects_b)
+        joining_b = {oid_b for _, oid_b in truth}
+        assert joining_b <= assigned

@@ -1,0 +1,84 @@
+"""Quadtree/Octree dual-traversal baseline (related work §2.2.1)."""
+
+import pytest
+
+from repro.datasets.synthetic import clustered_boxes, uniform_boxes
+from repro.geometry.objects import box_object
+from repro.joins.quadtree import QuadtreeJoin, _Quadtree
+from repro.geometry.mbr import MBR
+from repro.validation import assert_matches_ground_truth
+
+A = uniform_boxes(70, seed=131, side_range=(0.0, 25.0))
+B = uniform_boxes(210, seed=132, side_range=(0.0, 25.0))
+
+
+class TestQuadtreeStructure:
+    def test_splits_when_over_capacity(self):
+        universe = MBR((0.0, 0.0), (100.0, 100.0))
+        objs = [box_object(i, (i, i), (i + 0.5, i + 0.5)) for i in range(40)]
+        tree = _Quadtree(objs, universe, leaf_capacity=4, max_depth=10)
+        assert not tree.root.is_leaf
+        assert tree.node_count > 1
+
+    def test_replication_counted(self):
+        universe = MBR((0.0, 0.0), (100.0, 100.0))
+        # One object straddling the first split plane at x = 50.
+        objs = [box_object(i, (i, 0), (i + 0.4, 0.4)) for i in range(10)]
+        objs.append(box_object(99, (49.0, 49.0), (51.0, 51.0)))
+        tree = _Quadtree(objs, universe, leaf_capacity=2, max_depth=10)
+        assert tree.reference_count > len(objs)
+
+    def test_non_discriminating_split_stops(self):
+        """Objects covering the whole region must not recurse forever."""
+        universe = MBR((0.0, 0.0), (100.0, 100.0))
+        objs = [box_object(i, (0, 0), (100, 100)) for i in range(50)]
+        tree = _Quadtree(objs, universe, leaf_capacity=2, max_depth=30)
+        assert tree.root.is_leaf
+        assert tree.node_count == 1
+
+    def test_max_depth_respected(self):
+        universe = MBR((0.0, 0.0), (100.0, 100.0))
+        # Many nearly coincident tiny objects force the depth bound.
+        objs = [box_object(i, (1.0, 1.0), (1.001, 1.001)) for i in range(30)]
+        tree = _Quadtree(objs, universe, leaf_capacity=2, max_depth=3)
+        assert tree.node_count <= 1 + 4 + 16 + 64
+
+
+class TestQuadtreeJoin:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="leaf_capacity"):
+            QuadtreeJoin(leaf_capacity=0)
+        with pytest.raises(ValueError, match="max_depth"):
+            QuadtreeJoin(max_depth=-1)
+        with pytest.raises(ValueError, match="kernel"):
+            QuadtreeJoin(local_kernel="bogus")
+
+    def test_correct_on_uniform(self):
+        result = QuadtreeJoin(leaf_capacity=8).join(A, B)
+        assert_matches_ground_truth(result, A, B)
+
+    def test_correct_on_clustered(self):
+        a = clustered_boxes(60, seed=133, n_clusters=4)
+        b = clustered_boxes(180, seed=134, n_clusters=4)
+        result = QuadtreeJoin(leaf_capacity=4).join(a, b)
+        assert_matches_ground_truth(result, a, b)
+
+    def test_duplicates_suppressed_for_straddlers(self):
+        a = [box_object(0, (0.0, 0.0), (90.0, 90.0))]
+        b = [box_object(0, (10.0, 10.0), (80.0, 80.0))] + [
+            box_object(i, (i, 95.0), (i + 0.4, 95.4)) for i in range(1, 40)
+        ]
+        result = QuadtreeJoin(leaf_capacity=2).join(a, b)
+        assert (0, 0) in result.pair_set()
+        assert result.stats.duplicates_suppressed > 0
+
+    def test_memory_includes_result_dedup_set(self):
+        """Unlike PBSM, the end-filtering needs result memory (§2.2.3)."""
+        dense_a = uniform_boxes(60, seed=135, side_range=(0.0, 120.0))
+        dense_b = uniform_boxes(120, seed=136, side_range=(0.0, 120.0))
+        result = QuadtreeJoin(leaf_capacity=4).join(dense_a, dense_b)
+        assert result.stats.memory_bytes > 16 * len(result.pairs)
+
+    def test_describe(self):
+        info = QuadtreeJoin(leaf_capacity=7, max_depth=5).describe()
+        assert info["leaf_capacity"] == 7 and info["max_depth"] == 5

@@ -1,0 +1,95 @@
+"""Registry, JoinResult helpers and the algorithm base class."""
+
+import pytest
+
+from repro.geometry.objects import box_object
+from repro.joins.base import JoinResult, SpatialJoinAlgorithm, dimensionality
+from repro.joins.registry import ALGORITHMS, algorithm_names, make_algorithm
+from repro.stats.counters import JoinStatistics
+
+
+class TestRegistry:
+    def test_names_cover_paper_evaluation(self):
+        names = set(algorithm_names())
+        assert {
+            "NL",
+            "PS",
+            "PBSM-500",
+            "PBSM-100",
+            "S3",
+            "INL",
+            "RTree",
+            "TOUCH",
+        } <= names
+
+    def test_extensions_registered(self):
+        names = set(algorithm_names())
+        assert {"SeededTree", "Quadtree", "SSSJ"} <= names
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            make_algorithm("SuperJoin9000")
+
+    def test_every_factory_builds(self):
+        for name in ALGORITHMS:
+            algorithm = make_algorithm(name)
+            assert isinstance(algorithm, SpatialJoinAlgorithm)
+
+    def test_overrides_forwarded(self):
+        algorithm = make_algorithm("TOUCH", fanout=7)
+        assert algorithm.fanout == 7
+
+    def test_paper_configurations(self):
+        assert make_algorithm("INL").fanout == 2
+        assert make_algorithm("RTree").fanout == 2
+        assert make_algorithm("S3").fanout == 3
+        assert make_algorithm("PBSM-500").name == "PBSM-500"
+        assert make_algorithm("PBSM-100").name == "PBSM-100"
+
+
+class TestJoinResult:
+    def _result(self, pairs):
+        return JoinResult("x", pairs, JoinStatistics(result_pairs=len(pairs)))
+
+    def test_len_and_repr(self):
+        result = self._result([(1, 2), (3, 4)])
+        assert len(result) == 2
+        assert "pairs=2" in repr(result)
+
+    def test_pair_set_and_sorted(self):
+        result = self._result([(3, 4), (1, 2)])
+        assert result.pair_set() == {(1, 2), (3, 4)}
+        assert result.sorted_pairs() == [(1, 2), (3, 4)]
+
+    def test_selectivity(self):
+        result = self._result([(1, 2)])
+        assert result.selectivity(10, 10) == 0.01
+        assert result.selectivity(0, 10) == 0.0
+
+
+class TestBaseTemplate:
+    def test_join_fills_totals(self):
+        class Trivial(SpatialJoinAlgorithm):
+            name = "Trivial"
+
+            def _execute(self, objects_a, objects_b, stats):
+                return [(a.oid, b.oid) for a in objects_a for b in objects_b
+                        if a.mbr.intersects(b.mbr)]
+
+        a = [box_object(0, (0, 0), (2, 2))]
+        b = [box_object(5, (1, 1), (3, 3))]
+        result = Trivial().join(a, b)
+        assert result.pairs == [(0, 5)]
+        assert result.stats.result_pairs == 1
+        assert result.stats.total_seconds > 0
+        assert result.algorithm == "Trivial"
+
+    def test_repr_includes_parameters(self):
+        algorithm = make_algorithm("TOUCH", fanout=3)
+        assert "fanout=3" in repr(algorithm)
+
+    def test_dimensionality_helper(self):
+        a = [box_object(0, (0, 0, 0), (1, 1, 1))]
+        assert dimensionality(a, []) == 3
+        assert dimensionality([], a) == 3
+        assert dimensionality([], []) == 0

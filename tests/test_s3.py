@@ -1,0 +1,108 @@
+"""S3-specific behaviour: level assignment, hierarchy join, filtering."""
+
+import pytest
+
+from repro.datasets.synthetic import clustered_boxes, uniform_boxes
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import box_object
+from repro.joins.s3 import S3Join, _GridHierarchy
+from repro.validation import assert_matches_ground_truth
+
+UNIVERSE = MBR((0.0, 0.0), (100.0, 100.0))
+
+
+class TestGridHierarchy:
+    def test_small_object_lands_on_finest_level(self):
+        hierarchy = _GridHierarchy(UNIVERSE, fanout=2, levels=4)
+        # Finest level: 8 cells/dim, 12.5 units each.
+        level, coords = hierarchy.assignment_of(MBR((1.0, 1.0), (2.0, 2.0)))
+        assert level == 3
+        assert coords == (0, 0)
+
+    def test_straddling_object_promoted(self):
+        hierarchy = _GridHierarchy(UNIVERSE, fanout=2, levels=4)
+        # Straddles the finest boundary at 12.5 but fits in a 25-unit cell.
+        level, coords = hierarchy.assignment_of(MBR((10.0, 1.0), (15.0, 2.0)))
+        assert level == 2
+        assert coords == (0, 0)
+
+    def test_huge_object_lands_at_root(self):
+        hierarchy = _GridHierarchy(UNIVERSE, fanout=2, levels=4)
+        level, coords = hierarchy.assignment_of(MBR((1.0, 1.0), (99.0, 99.0)))
+        assert level == 0
+        assert coords == (0, 0)
+
+    def test_insert_places_object(self):
+        hierarchy = _GridHierarchy(UNIVERSE, fanout=2, levels=3)
+        obj = box_object(1, (1.0, 1.0), (2.0, 2.0))
+        level, coords = hierarchy.insert(obj)
+        assert hierarchy.cells[level][coords] == [obj]
+
+    def test_memory_counts_all_levels(self):
+        hierarchy = _GridHierarchy(UNIVERSE, fanout=2, levels=3)
+        before = hierarchy.memory_bytes()
+        hierarchy.insert(box_object(1, (1, 1), (2, 2)))
+        assert hierarchy.memory_bytes() > before
+
+    def test_single_level_hierarchy(self):
+        hierarchy = _GridHierarchy(UNIVERSE, fanout=3, levels=1)
+        level, coords = hierarchy.assignment_of(MBR((1, 1), (99, 99)))
+        assert level == 0 and coords == (0, 0)
+
+
+class TestS3Join:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="fanout"):
+            S3Join(fanout=1)
+        with pytest.raises(ValueError, match="levels"):
+            S3Join(levels=0)
+        with pytest.raises(ValueError, match="kernel"):
+            S3Join(local_kernel="bogus")
+
+    def test_describe(self):
+        info = S3Join(fanout=3, levels=5).describe()
+        assert info["fanout"] == 3 and info["levels"] == 5
+
+    def test_mixed_level_pairs_found(self):
+        """An object at the root level must still meet finest-level objects."""
+        a = [box_object(0, (1, 1), (99, 99))]  # root level
+        b = [box_object(0, (50, 50), (50.5, 50.5))]  # finest level
+        result = S3Join(fanout=2, levels=4).join(a, b)
+        assert result.pairs == [(0, 0)]
+
+    def test_reverse_mixed_level_pairs_found(self):
+        a = [box_object(0, (50, 50), (50.5, 50.5))]  # finest level
+        b = [box_object(0, (1, 1), (99, 99))]  # root level
+        result = S3Join(fanout=2, levels=4).join(a, b)
+        assert result.pairs == [(0, 0)]
+
+    def test_filtering_on_sparse_a(self):
+        """Objects of B far from every A object must be filtered."""
+        a = [box_object(i, (i, i), (i + 0.5, i + 0.5)) for i in range(5)]
+        b = [box_object(i, (900 + i, 900 + i), (900.5 + i, 900.5 + i)) for i in range(20)]
+        b += [box_object(100, (1.0, 1.0), (1.2, 1.2))]  # near A
+        result = S3Join(fanout=3, levels=5).join(a, b)
+        assert result.stats.filtered >= 19
+        assert (1, 100) in result.pair_set()
+
+    def test_filtered_objects_never_lose_results(self):
+        a = clustered_boxes(60, seed=61, n_clusters=3)
+        b = uniform_boxes(200, seed=62)
+        result = S3Join(fanout=3, levels=5).join(a, b)
+        assert_matches_ground_truth(result, a, b)
+
+    def test_deeper_hierarchy_fewer_comparisons(self):
+        a = uniform_boxes(80, seed=63, side_range=(0.0, 5.0))
+        b = uniform_boxes(240, seed=64, side_range=(0.0, 5.0))
+        shallow = S3Join(fanout=2, levels=2).join(a, b)
+        deep = S3Join(fanout=2, levels=6).join(a, b)
+        assert deep.stats.comparisons < shallow.stats.comparisons
+        assert deep.pair_set() == shallow.pair_set()
+
+    def test_boundary_touching_pair(self):
+        """Pairs meeting exactly at a grid boundary must not be missed."""
+        # 2-level, fanout-2 hierarchy over [0,100]: boundary at 50.
+        a = [box_object(0, (40.0, 40.0), (50.0, 50.0))]
+        b = [box_object(0, (50.0, 50.0), (60.0, 60.0))]
+        result = S3Join(fanout=2, levels=2).join(a, b)
+        assert result.pairs == [(0, 0)]

@@ -1,0 +1,117 @@
+"""Behaviour specific to NL, PS, INL, RTree sync and seeded tree joins."""
+
+import pytest
+
+from repro.datasets.synthetic import uniform_boxes
+from repro.joins.indexed_nested_loop import IndexedNestedLoopJoin
+from repro.joins.nested_loop import NestedLoopJoin
+from repro.joins.plane_sweep import PlaneSweepJoin
+from repro.joins.rtree_join import RTreeSyncJoin
+from repro.joins.seeded_tree import SeededTreeJoin
+from repro.validation import assert_matches_ground_truth
+
+A = uniform_boxes(70, seed=71, side_range=(0.0, 30.0))
+B = uniform_boxes(200, seed=72, side_range=(0.0, 30.0))
+
+
+class TestNestedLoop:
+    def test_comparisons_equal_product(self):
+        result = NestedLoopJoin().join(A, B)
+        assert result.stats.comparisons == len(A) * len(B)
+
+    def test_zero_memory_model(self):
+        assert NestedLoopJoin().join(A, B).stats.memory_bytes == 0
+
+
+class TestPlaneSweep:
+    def test_fewer_comparisons_than_nl(self):
+        ps = PlaneSweepJoin().join(A, B)
+        assert 0 < ps.stats.comparisons < len(A) * len(B)
+
+    def test_sweep_along_each_dimension(self):
+        results = [PlaneSweepJoin(sweep_dim=d).join(A, B) for d in range(3)]
+        assert results[0].pair_set() == results[1].pair_set() == results[2].pair_set()
+
+    def test_rejects_negative_dim(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            PlaneSweepJoin(sweep_dim=-1)
+
+    def test_out_of_range_dim(self):
+        with pytest.raises(ValueError, match="out of range"):
+            PlaneSweepJoin(sweep_dim=5).join(A, B)
+
+    def test_memory_is_two_reference_arrays(self):
+        result = PlaneSweepJoin().join(A, B)
+        assert result.stats.memory_bytes == 8 * (len(A) + len(B))
+
+
+class TestIndexedNestedLoop:
+    def test_counts_node_tests(self):
+        result = IndexedNestedLoopJoin(fanout=2).join(A, B)
+        assert result.stats.node_tests > 0
+
+    def test_bigger_fanout_changes_tree(self):
+        lean = IndexedNestedLoopJoin(fanout=2).join(A, B)
+        wide = IndexedNestedLoopJoin(fanout=16).join(A, B)
+        assert lean.pair_set() == wide.pair_set()
+        # Taller tree -> more node tests; wider leaves -> more comparisons.
+        assert wide.stats.comparisons >= lean.stats.comparisons
+
+    def test_hilbert_packing(self):
+        result = IndexedNestedLoopJoin(fanout=4, packing="hilbert").join(A, B)
+        assert_matches_ground_truth(result, A, B)
+
+
+class TestRTreeSync:
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            RTreeSyncJoin(local_kernel="bogus")
+
+    def test_node_tests_counted(self):
+        result = RTreeSyncJoin(fanout=2).join(A, B)
+        assert result.stats.node_tests > 0
+
+    def test_memory_counts_both_trees(self):
+        one_sided = IndexedNestedLoopJoin(fanout=2).join(A, B)
+        both = RTreeSyncJoin(fanout=2).join(A, B)
+        assert both.stats.memory_bytes > one_sided.stats.memory_bytes
+
+    def test_shares_traversal_work_unlike_inl(self):
+        """Paper: INL is slower because every probe re-traverses the tree
+        from the root; the synchronous traversal shares that work.  The
+        effect shows up as far fewer node tests for the same result."""
+        inl = IndexedNestedLoopJoin(fanout=2, leaf_capacity=4).join(A, B)
+        sync = RTreeSyncJoin(fanout=2, leaf_capacity=4, local_kernel="nested").join(A, B)
+        assert sync.pair_set() == inl.pair_set()
+        assert sync.stats.node_tests < inl.stats.node_tests
+
+    def test_different_tree_heights(self):
+        tiny_a = list(A)[:3]
+        result = RTreeSyncJoin(fanout=2).join(tiny_a, B)
+        assert_matches_ground_truth(result, tiny_a, B)
+
+    def test_nested_kernel_variant(self):
+        result = RTreeSyncJoin(local_kernel="nested").join(A, B)
+        assert_matches_ground_truth(result, A, B)
+
+
+class TestSeededTree:
+    def test_rejects_bad_seed_levels(self):
+        with pytest.raises(ValueError, match="seed_levels"):
+            SeededTreeJoin(seed_levels=0)
+
+    def test_seed_levels_deeper_than_tree(self):
+        result = SeededTreeJoin(seed_levels=50).join(A, B)
+        assert_matches_ground_truth(result, A, B)
+
+    def test_routing_counts_node_tests(self):
+        result = SeededTreeJoin(fanout=4, seed_levels=3).join(A, B)
+        assert result.stats.node_tests > 0
+
+    def test_probe_side_far_away(self):
+        """All B routed into one slot; grown subtree must still join."""
+        from repro.geometry.objects import box_object
+
+        far_b = [box_object(i, (i, 0, 0), (i + 0.5, 0.5, 0.5)) for i in range(30)]
+        result = SeededTreeJoin(fanout=4).join(A, far_b)
+        assert_matches_ground_truth(result, A, far_b)

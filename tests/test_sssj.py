@@ -1,0 +1,84 @@
+"""SSSJ — scalable sweeping-based spatial join (related work §2.2.3)."""
+
+import pytest
+
+from repro.datasets.synthetic import clustered_boxes, gaussian_boxes, uniform_boxes
+from repro.geometry.objects import box_object
+from repro.joins.sssj import SSSJJoin
+from repro.validation import assert_matches_ground_truth
+
+A = uniform_boxes(80, seed=151, side_range=(0.0, 30.0))
+B = uniform_boxes(240, seed=152, side_range=(0.0, 30.0))
+
+
+class TestConfiguration:
+    def test_rejects_bad_strips(self):
+        with pytest.raises(ValueError, match="strips"):
+            SSSJJoin(strips=0)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError, match="strip_dim"):
+            SSSJJoin(strip_dim=-1)
+
+    def test_out_of_range_dim(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SSSJJoin(strip_dim=7).join(A, B)
+
+    def test_describe(self):
+        assert SSSJJoin(strips=32, strip_dim=2).describe() == {
+            "strips": 32,
+            "strip_dim": 2,
+        }
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strips", [1, 4, 16, 64])
+    def test_matches_truth_any_strip_count(self, strips):
+        result = SSSJJoin(strips=strips).join(A, B)
+        assert_matches_ground_truth(result, A, B)
+
+    @pytest.mark.parametrize("strip_dim", [0, 1, 2])
+    def test_any_strip_dimension(self, strip_dim):
+        result = SSSJJoin(strips=16, strip_dim=strip_dim).join(A, B)
+        assert_matches_ground_truth(result, A, B)
+
+    def test_gaussian_and_clustered(self):
+        for generator, seed in ((gaussian_boxes, 153), (clustered_boxes, 155)):
+            a = generator(60, seed=seed, side_range=(0.0, 40.0))
+            b = generator(180, seed=seed + 1, side_range=(0.0, 40.0))
+            assert_matches_ground_truth(SSSJJoin(strips=20).join(a, b), a, b)
+
+    def test_spanning_pair_reported_once(self):
+        """Two objects spanning many strips meet in every shared strip;
+        the first-common-strip rule must emit them exactly once."""
+        a = [box_object(0, (0.0, 0.0), (1.0, 90.0))]
+        b = [box_object(0, (0.5, 10.0), (1.5, 80.0))] + [
+            box_object(i, (50.0, i), (50.4, i + 0.4)) for i in range(1, 30)
+        ]
+        result = SSSJJoin(strips=16).join(a, b)
+        assert result.pair_set() >= {(0, 0)}
+        assert len([p for p in result.pairs if p == (0, 0)]) == 1
+        assert result.stats.duplicates_suppressed > 0
+
+    def test_resident_spanning_mix(self):
+        a = [box_object(0, (10.0, 0.0), (11.0, 100.0))]  # spans all strips
+        b = [box_object(0, (10.5, 50.0), (10.8, 50.5))]  # resident
+        result = SSSJJoin(strips=8).join(a, b)
+        assert result.pairs == [(0, 0)]
+
+    def test_single_strip_degenerates_to_sweep(self):
+        result = SSSJJoin(strips=1).join(A, B)
+        assert_matches_ground_truth(result, A, B)
+        assert result.stats.replicated_entries == 0
+
+
+class TestAccounting:
+    def test_spanning_references_counted(self):
+        a = [box_object(0, (0.0, 0.0), (1.0, 99.0))]  # spans everything
+        b = [box_object(0, (0.0, 1.0), (1.0, 1.5))]
+        result = SSSJJoin(strips=10).join(a, b)
+        assert result.stats.replicated_entries > 0
+
+    def test_memory_reported(self):
+        result = SSSJJoin(strips=16).join(A, B)
+        assert result.stats.memory_bytes > 0

@@ -1,0 +1,115 @@
+"""Statistics counters, memory model, timers and validation helpers."""
+
+import time
+
+import pytest
+
+from repro.geometry.objects import box_object
+from repro.joins.base import JoinResult
+from repro.stats import memory as memmodel
+from repro.stats.counters import JoinStatistics
+from repro.stats.timing import PhaseTimer, timed
+from repro.validation import (
+    assert_all_equivalent,
+    assert_matches_ground_truth,
+    assert_no_duplicates,
+    brute_force_pairs,
+    find_duplicates,
+)
+
+
+class TestJoinStatistics:
+    def test_defaults_zero(self):
+        stats = JoinStatistics()
+        assert stats.comparisons == 0
+        assert stats.extra == {}
+
+    def test_merge_adds_counters(self):
+        first = JoinStatistics(comparisons=10, filtered=2, total_seconds=1.0)
+        second = JoinStatistics(comparisons=5, filtered=1, total_seconds=0.5)
+        first.merge(second)
+        assert first.comparisons == 15
+        assert first.filtered == 3
+        assert first.total_seconds == 1.5
+
+    def test_merge_takes_max_memory(self):
+        first = JoinStatistics(memory_bytes=100)
+        first.merge(JoinStatistics(memory_bytes=70))
+        assert first.memory_bytes == 100
+        first.merge(JoinStatistics(memory_bytes=300))
+        assert first.memory_bytes == 300
+
+    def test_as_dict_roundtrip(self):
+        stats = JoinStatistics(comparisons=3, result_pairs=1)
+        view = stats.as_dict()
+        assert view["comparisons"] == 3
+        assert view["result_pairs"] == 1
+
+
+class TestMemoryModel:
+    def test_mbr_bytes(self):
+        assert memmodel.mbr_bytes(3) == 48
+
+    def test_node_bytes_grows_with_fanout(self):
+        assert memmodel.node_bytes(3, 16) > memmodel.node_bytes(3, 2)
+
+    def test_grid_cells_bytes(self):
+        assert memmodel.grid_cells_bytes(0, 0) == 0
+        assert memmodel.grid_cells_bytes(2, 10) == 2 * 24 + 10 * 8
+
+    def test_reference_list(self):
+        assert memmodel.reference_list_bytes(5) == 40
+
+
+class TestTimers:
+    def test_phase_timer_accumulates(self):
+        timer = PhaseTimer()
+        with timer.phase("x"):
+            time.sleep(0.001)
+        with timer.phase("x"):
+            time.sleep(0.001)
+        assert timer.seconds("x") >= 0.002
+        assert timer.seconds("missing") == 0.0
+        assert timer.total() == pytest.approx(timer.seconds("x"))
+
+    def test_timed_context(self):
+        with timed() as holder:
+            time.sleep(0.001)
+        assert holder[0] >= 0.001
+
+
+class TestValidation:
+    def _result(self, pairs):
+        stats = JoinStatistics(result_pairs=len(pairs))
+        return JoinResult("test", pairs, stats)
+
+    def test_brute_force(self):
+        a = [box_object(0, (0, 0), (2, 2))]
+        b = [box_object(0, (1, 1), (3, 3)), box_object(1, (9, 9), (10, 10))]
+        assert brute_force_pairs(a, b) == {(0, 0)}
+
+    def test_find_duplicates(self):
+        assert find_duplicates([(1, 1), (2, 2), (1, 1)]) == [(1, 1)]
+        assert find_duplicates([(1, 1), (2, 2)]) == []
+
+    def test_assert_no_duplicates_raises(self):
+        with pytest.raises(AssertionError, match="duplicated"):
+            assert_no_duplicates(self._result([(1, 1), (1, 1)]))
+
+    def test_assert_matches_detects_missing(self):
+        a = [box_object(0, (0, 0), (2, 2))]
+        b = [box_object(0, (1, 1), (3, 3))]
+        with pytest.raises(AssertionError, match="missing"):
+            assert_matches_ground_truth(self._result([]), a, b)
+
+    def test_assert_matches_detects_spurious(self):
+        a = [box_object(0, (0, 0), (1, 1))]
+        b = [box_object(0, (5, 5), (6, 6))]
+        with pytest.raises(AssertionError, match="spurious"):
+            assert_matches_ground_truth(self._result([(0, 0)]), a, b)
+
+    def test_assert_all_equivalent(self):
+        assert_all_equivalent([])
+        assert_all_equivalent([self._result([(1, 2)]), self._result([(1, 2)])])
+        with pytest.raises(AssertionError, match="differs"):
+            assert_all_equivalent([self._result([(1, 2)]), self._result([])])

@@ -1,0 +1,107 @@
+"""TOUCH phase 2: hierarchical single assignment with filtering.
+
+Covers the three cases of Algorithm 3 — no overlap (filter), exactly one
+overlap (descend), several overlaps (assign to the current node) — plus
+the single-assignment invariant behind Lemma 3.
+"""
+
+import pytest
+
+from repro.core.assignment import assign_dataset_b, locate_node
+from repro.core.tree import TouchTree
+from repro.datasets.synthetic import uniform_boxes
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import box_object
+from repro.stats.counters import JoinStatistics
+
+
+@pytest.fixture
+def two_cluster_tree():
+    """A tree with two well-separated leaf buckets.
+
+    Bucket L: four unit boxes near the origin; bucket R: four near (100,
+    100).  With fanout 2 the root has exactly these two leaves as
+    children.
+    """
+    objs = [box_object(i, (i, 0), (i + 1, 1)) for i in range(4)]
+    objs += [box_object(4 + i, (100 + i, 100), (101 + i, 101)) for i in range(4)]
+    return TouchTree(objs, fanout=2, leaf_capacity=4)
+
+
+class TestLocateNode:
+    def test_object_inside_one_leaf(self, two_cluster_tree):
+        node = locate_node(two_cluster_tree.root, MBR((1.0, 0.2), (1.5, 0.8)))
+        assert node is not None and node.is_leaf
+
+    def test_object_outside_everything_is_filtered(self, two_cluster_tree):
+        assert locate_node(two_cluster_tree.root, MBR((500, 500), (501, 501))) is None
+
+    def test_object_in_dead_space_is_filtered(self, two_cluster_tree):
+        # Inside the root MBR but in the gap between the two clusters.
+        node = locate_node(two_cluster_tree.root, MBR((50, 50), (51, 51)))
+        assert node is None
+
+    def test_object_spanning_both_clusters_assigned_to_root(self, two_cluster_tree):
+        node = locate_node(two_cluster_tree.root, MBR((0, 0), (101, 101)))
+        assert node is two_cluster_tree.root
+
+    def test_counts_node_tests(self, two_cluster_tree):
+        stats = JoinStatistics()
+        locate_node(two_cluster_tree.root, MBR((1.0, 0.2), (1.5, 0.8)), stats)
+        assert stats.node_tests >= 2  # root + at least its children
+
+    def test_single_leaf_tree(self):
+        tree = TouchTree([box_object(0, (0, 0), (1, 1))], leaf_capacity=4)
+        assert locate_node(tree.root, MBR((0.2, 0.2), (0.4, 0.4))) is tree.root
+        assert locate_node(tree.root, MBR((5, 5), (6, 6))) is None
+
+
+class TestAssignDatasetB:
+    def test_every_object_assigned_or_filtered(self, two_cluster_tree):
+        b = list(uniform_boxes(300, seed=91, side_range=(0.0, 3.0), space=200.0))
+        filtered = assign_dataset_b(two_cluster_tree, b)
+        assert two_cluster_tree.assigned_b_count() + filtered == 300
+
+    def test_single_assignment_invariant(self, two_cluster_tree):
+        """Lemma 3's precondition: each b in at most one node."""
+        b = list(uniform_boxes(300, seed=92, side_range=(0.0, 5.0), space=200.0))
+        assign_dataset_b(two_cluster_tree, b)
+        seen: set[int] = set()
+        for node in two_cluster_tree.iter_nodes():
+            for obj in node.entities_b:
+                assert obj.oid not in seen
+                seen.add(obj.oid)
+
+    def test_assigned_node_overlaps_object(self, two_cluster_tree):
+        b = list(uniform_boxes(200, seed=93, side_range=(0.0, 4.0), space=200.0))
+        assign_dataset_b(two_cluster_tree, b)
+        for node in two_cluster_tree.iter_nodes():
+            for obj in node.entities_b:
+                assert node.mbr.intersects(obj.mbr)
+
+    def test_filtered_objects_overlap_no_leaf(self, two_cluster_tree):
+        """Filter soundness: a filtered b intersects no leaf MBR."""
+        b = list(uniform_boxes(300, seed=94, side_range=(0.0, 2.0), space=200.0))
+        assigned_ids = set()
+        filtered = assign_dataset_b(two_cluster_tree, b)
+        for node in two_cluster_tree.iter_nodes():
+            assigned_ids.update(o.oid for o in node.entities_b)
+        leaves = two_cluster_tree.leaves()
+        for obj in b:
+            if obj.oid not in assigned_ids:
+                assert not any(leaf.mbr.intersects(obj.mbr) for leaf in leaves)
+        assert filtered == 300 - len(assigned_ids)
+
+    def test_stats_filtered_counter(self, two_cluster_tree):
+        b = [box_object(0, (500, 500), (501, 501))]
+        stats = JoinStatistics()
+        assign_dataset_b(two_cluster_tree, b, stats)
+        assert stats.filtered == 1
+
+    def test_deep_descent_prefers_lowest_node(self):
+        """b overlapping a single deep bucket must land in that bucket."""
+        objs = [box_object(i, (10 * i, 0), (10 * i + 1, 1)) for i in range(16)]
+        tree = TouchTree(objs, fanout=2, leaf_capacity=1)
+        target = locate_node(tree.root, MBR((40.2, 0.2), (40.8, 0.8)))
+        assert target.is_leaf
+        assert [o.oid for o in target.entities_a] == [4]

@@ -1,0 +1,129 @@
+"""TOUCH end-to-end: phases 1-3, parameters, statistics."""
+
+import pytest
+
+from repro.core.local_join import join_assigned_nodes
+from repro.core.touch import TouchJoin
+from repro.core.tree import TouchTree
+from repro.datasets.synthetic import clustered_boxes, gaussian_boxes, uniform_boxes
+from repro.datasets.transform import inflate
+from repro.stats.counters import JoinStatistics
+from repro.validation import assert_matches_ground_truth
+
+A = uniform_boxes(100, seed=101, side_range=(0.0, 20.0))
+B = uniform_boxes(300, seed=102, side_range=(0.0, 20.0))
+
+
+class TestParameters:
+    def test_default_configuration_matches_paper(self):
+        join = TouchJoin()
+        info = join.describe()
+        assert info["fanout"] == 2
+        assert info["num_partitions"] == 1024
+        assert info["local_kernel"] == "grid"
+
+    def test_unknown_local_kernel_rejected_at_join(self):
+        with pytest.raises(ValueError, match="kernel"):
+            TouchJoin(local_kernel="bogus").join(A, B)
+
+    @pytest.mark.parametrize("kernel", ["grid", "sweep", "nested"])
+    def test_all_kernels_correct(self, kernel):
+        result = TouchJoin(local_kernel=kernel).join(A, B)
+        assert_matches_ground_truth(result, A, B)
+
+    @pytest.mark.parametrize("fanout", [2, 3, 8, 20])
+    def test_all_fanouts_correct(self, fanout):
+        result = TouchJoin(fanout=fanout, num_partitions=32).join(A, B)
+        assert_matches_ground_truth(result, A, B)
+
+    @pytest.mark.parametrize("partitions", [1, 4, 64, 100_000])
+    def test_partition_extremes_correct(self, partitions):
+        result = TouchJoin(num_partitions=partitions).join(A, B)
+        assert_matches_ground_truth(result, A, B)
+
+    def test_leaf_capacity_override(self):
+        result = TouchJoin(leaf_capacity=5, num_partitions=2).join(A, B)
+        assert_matches_ground_truth(result, A, B)
+        assert result.parameters["leaf_capacity"] == 5
+
+
+class TestPhases:
+    def test_phase_timings_populated(self):
+        result = TouchJoin().join(A, B)
+        stats = result.stats
+        assert stats.build_seconds > 0
+        assert stats.assign_seconds > 0
+        assert stats.join_seconds > 0
+
+    def test_tree_exposed_after_join(self):
+        join = TouchJoin(num_partitions=16)
+        join.join(A, B)
+        assert isinstance(join.last_tree, TouchTree)
+        assert join.last_tree.assigned_b_count() + join.last_tree.node_count() > 0
+
+    def test_extra_reports_tree_shape(self):
+        result = TouchJoin(num_partitions=16).join(A, B)
+        assert result.stats.extra["tree_height"] >= 1
+        assert result.stats.extra["tree_nodes"] >= 16
+
+
+class TestPaperClaims:
+    def test_far_fewer_comparisons_than_nested_loop(self):
+        result = TouchJoin().join(A, B)
+        assert result.stats.comparisons < len(A) * len(B) / 10
+
+    def test_smaller_fanout_no_worse_comparisons(self):
+        """Figure 14b direction at test scale: fanout 2 vs fanout 20.
+
+        Uses Algorithm 2's coupling (num_partitions=None: buckets of
+        `fanout` objects) on a density-preserved clustered workload, the
+        regime of the paper's fanout sweep.  The paper reports a modest
+        1.5x effect; at this scale we assert the direction with a small
+        noise allowance.
+        """
+        from repro.datasets.synthetic import clustered_boxes
+
+        a = inflate(clustered_boxes(500, seed=103, space=68.0, n_clusters=20), 5.0)
+        b = clustered_boxes(3000, seed=104, space=68.0, n_clusters=20)
+        lean = TouchJoin(fanout=2, num_partitions=None).join(a, b)
+        wide = TouchJoin(fanout=20, num_partitions=None).join(a, b)
+        assert lean.pair_set() == wide.pair_set()
+        assert lean.stats.comparisons <= wide.stats.comparisons * 1.05
+
+    def test_filtering_on_clustered_data(self):
+        """Figure 13: clustered data filters B objects, uniform barely."""
+        clustered_a = clustered_boxes(200, seed=105, n_clusters=3, cluster_sigma=30.0)
+        uniform_b = uniform_boxes(600, seed=106)
+        result = TouchJoin(num_partitions=64).join(clustered_a, uniform_b)
+        assert result.stats.filtered > 0
+        assert_matches_ground_truth(result, clustered_a, uniform_b)
+
+    def test_no_duplicates_on_dense_data(self):
+        """Lemma 3 under heavy overlap."""
+        a = inflate(gaussian_boxes(150, seed=107), 20.0)
+        b = gaussian_boxes(450, seed=108)
+        result = TouchJoin().join(a, b)
+        assert_matches_ground_truth(result, a, b)
+
+
+class TestJoinAssignedNodes:
+    def test_rejects_unknown_kernel(self):
+        tree = TouchTree(list(A), num_partitions=8)
+        with pytest.raises(ValueError, match="kernel"):
+            join_assigned_nodes(tree, JoinStatistics(), kernel_name="bogus")
+
+    def test_emit_callback_sees_every_pair(self):
+        from repro.core.assignment import assign_dataset_b
+
+        tree = TouchTree(list(A), num_partitions=8)
+        stats = JoinStatistics()
+        assign_dataset_b(tree, list(B), stats)
+        streamed = []
+        pairs = join_assigned_nodes(
+            tree, stats, emit=lambda a, b: streamed.append((a.oid, b.oid))
+        )
+        assert streamed == pairs
+
+    def test_tree_without_assignments_yields_nothing(self):
+        tree = TouchTree(list(A), num_partitions=8)
+        assert join_assigned_nodes(tree, JoinStatistics()) == []

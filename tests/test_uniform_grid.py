@@ -1,0 +1,134 @@
+"""Unit tests for the uniform hash grid substrate."""
+
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.grid.uniform import UniformGrid
+
+UNIVERSE = MBR((0.0, 0.0), (10.0, 10.0))
+
+
+class TestConstruction:
+    def test_requires_exactly_one_sizing_argument(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            UniformGrid(UNIVERSE)
+        with pytest.raises(ValueError, match="exactly one"):
+            UniformGrid(UNIVERSE, resolution=10, cell_size=1.0)
+
+    def test_scalar_resolution_broadcasts(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        assert grid.resolution == (5, 5)
+        assert grid.cell_size == (2.0, 2.0)
+
+    def test_per_dimension_resolution(self):
+        grid = UniformGrid(UNIVERSE, resolution=(5, 10))
+        assert grid.cell_size == (2.0, 1.0)
+
+    def test_cell_size_derives_resolution(self):
+        grid = UniformGrid(UNIVERSE, cell_size=3.0)
+        assert grid.resolution == (4, 4)  # ceil(10 / 3)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            UniformGrid(UNIVERSE, resolution=0)
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            UniformGrid(UNIVERSE, cell_size=0.0)
+
+    def test_degenerate_universe_dimension(self):
+        flat = MBR((0.0, 5.0), (10.0, 5.0))
+        grid = UniformGrid(flat, resolution=4)
+        assert grid.cell_of_point((3.0, 5.0))[1] == 0
+
+
+class TestCoordinates:
+    def test_cell_of_point_interior(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        assert grid.cell_of_point((0.1, 0.1)) == (0, 0)
+        assert grid.cell_of_point((9.9, 9.9)) == (4, 4)
+
+    def test_cell_of_point_clamps_outside(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        assert grid.cell_of_point((-3.0, 50.0)) == (0, 4)
+
+    def test_upper_boundary_maps_to_last_cell(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        assert grid.cell_of_point((10.0, 10.0)) == (4, 4)
+
+    def test_index_ranges(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        assert grid.index_ranges(MBR((1.0, 3.0), (5.0, 3.5))) == ((0, 2), (1, 1))
+
+    def test_cells_overlapping_counts(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        box = MBR((1.0, 1.0), (5.0, 3.0))
+        cells = list(grid.cells_overlapping(box))
+        assert len(cells) == grid.cell_count_for(box) == 6  # 3 x 2
+
+    def test_cell_mbr_roundtrip(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        cell = grid.cell_mbr((1, 2))
+        assert cell == MBR((2.0, 4.0), (4.0, 6.0))
+        assert grid.cell_of_point(cell.center()) == (1, 2)
+
+
+class TestPopulation:
+    def test_insert_single_cell(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        touched = grid.insert("x", MBR((0.1, 0.1), (0.2, 0.2)))
+        assert touched == 1
+        assert grid.items_in_cell((0, 0)) == ["x"]
+        assert len(grid) == 1
+        assert grid.reference_count == 1
+
+    def test_insert_replicates_across_cells(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        touched = grid.insert("wide", MBR((0.0, 0.0), (10.0, 0.5)))
+        assert touched == 5  # spans every column of row 0
+        assert grid.reference_count == 5
+
+    def test_items_in_missing_cell_is_empty(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        assert grid.items_in_cell((3, 3)) == []
+
+    def test_contains_and_iteration(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        grid.insert("a", MBR((0.1, 0.1), (0.2, 0.2)))
+        assert (0, 0) in grid
+        assert (1, 1) not in grid
+        assert dict(grid.non_empty_cells()) == {(0, 0): ["a"]}
+
+    def test_memory_grows_with_references(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        empty_bytes = grid.memory_bytes()
+        grid.insert("wide", MBR((0.0, 0.0), (10.0, 10.0)))
+        assert grid.memory_bytes() > empty_bytes
+
+
+class TestReferencePointDedup:
+    def test_exactly_one_owner_among_common_cells(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        a = MBR((1.0, 1.0), (7.0, 7.0))
+        b = MBR((3.0, 3.0), (9.0, 9.0))
+        common = set(grid.cells_overlapping(a)) & set(grid.cells_overlapping(b))
+        owners = [c for c in common if grid.owns_pair(c, a, b)]
+        assert len(owners) == 1
+
+    def test_owner_contains_reference_point(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        a = MBR((1.0, 1.0), (7.0, 7.0))
+        b = MBR((3.0, 3.0), (9.0, 9.0))
+        owner = next(
+            c
+            for c in set(grid.cells_overlapping(a)) & set(grid.cells_overlapping(b))
+            if grid.owns_pair(c, a, b)
+        )
+        assert owner == grid.cell_of_point((3.0, 3.0))
+
+    def test_order_insensitive(self):
+        grid = UniformGrid(UNIVERSE, resolution=5)
+        a = MBR((0.0, 0.0), (4.0, 4.0))
+        b = MBR((2.0, 2.0), (6.0, 6.0))
+        cell = grid.cell_of_point((2.0, 2.0))
+        assert grid.owns_pair(cell, a, b) == grid.owns_pair(cell, b, a)
