@@ -25,5 +25,5 @@ _SUBSETS = {
 @pytest.mark.parametrize("algorithm", LARGE_ALGORITHMS)
 def test_fig15(benchmark, algorithm, percent):
     fraction, subset_a, subset_b = _SUBSETS[percent]
-    record = bench_join(benchmark, algorithm, subset_a, subset_b, SCALE.large_epsilon)
+    bench_join(benchmark, algorithm, subset_a, subset_b, SCALE.large_epsilon)
     benchmark.extra_info["density_fraction"] = fraction

@@ -19,6 +19,7 @@ from pathlib import Path
 from repro.bench.config import DEFAULT_SCALE, SCALES
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import print_experiment, save_json
+from repro.geometry.columnar import BACKENDS
 
 __all__ = ["main", "build_parser"]
 
@@ -33,9 +34,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiments and scales")
 
+    backend_kwargs = dict(
+        choices=BACKENDS,
+        default=None,
+        help="geometry backend for every join of the experiment "
+        "(object | columnar | auto); algorithms without a columnar "
+        "port run unchanged — used for backend ablation sweeps",
+    )
+
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--scale", choices=sorted(SCALES), default=None)
+    run.add_argument("--backend", **backend_kwargs)
     run.add_argument("--json", type=Path, default=None, help="also write rows as JSON")
     run.add_argument(
         "--chart",
@@ -47,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--scale", choices=sorted(SCALES), default=None)
+    everything.add_argument("--backend", **backend_kwargs)
     everything.add_argument(
         "--out-dir", type=Path, default=None, help="write one JSON per experiment"
     )
@@ -66,8 +77,9 @@ def _cmd_run(
     scale: str | None,
     json_path: Path | None,
     chart_metric: str | None,
+    backend: str | None = None,
 ) -> int:
-    result = run_experiment(experiment, scale)
+    result = run_experiment(experiment, scale, backend=backend)
     print_experiment(result)
     if chart_metric is not None:
         from repro.bench.charts import chart_for_experiment
@@ -86,9 +98,9 @@ def _cmd_run(
     return 0
 
 
-def _cmd_all(scale: str | None, out_dir: Path | None) -> int:
+def _cmd_all(scale: str | None, out_dir: Path | None, backend: str | None = None) -> int:
     for name in EXPERIMENTS:
-        result = run_experiment(name, scale)
+        result = run_experiment(name, scale, backend=backend)
         print_experiment(result)
         if out_dir is not None:
             save_json(result, out_dir / f"{name}.json")
@@ -101,9 +113,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.scale, args.json, args.chart)
+        return _cmd_run(args.experiment, args.scale, args.json, args.chart, args.backend)
     if args.command == "all":
-        return _cmd_all(args.scale, args.out_dir)
+        return _cmd_all(args.scale, args.out_dir, args.backend)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -26,7 +26,7 @@ Select a scale with the ``REPRO_SCALE`` environment variable
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Scale", "SCALES", "current_scale", "DEFAULT_SCALE"]
 

@@ -17,7 +17,12 @@ from pathlib import Path
 from typing import Callable
 
 from repro.bench.config import Scale, current_scale
-from repro.bench.runner import RunRecord, record_from_result, run_algorithm
+from repro.bench.runner import (
+    RunRecord,
+    record_from_result,
+    run_algorithm,
+    use_backend,
+)
 from repro.bench.workloads import (
     FIG8_ALGORITHMS,
     LARGE_ALGORITHMS,
@@ -44,6 +49,7 @@ class ExperimentResult:
     rows: list[dict] = field(default_factory=list)
     notes: str = ""
     scale: str = ""
+    backend: str | None = None
 
     def add(self, record: RunRecord, **extra) -> None:
         row = record.as_dict()
@@ -430,8 +436,18 @@ EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, scale: Scale | str | None = None) -> ExperimentResult:
-    """Run one experiment by id at the given (or ambient) scale."""
+def run_experiment(
+    name: str,
+    scale: Scale | str | None = None,
+    backend: str | None = None,
+) -> ExperimentResult:
+    """Run one experiment by id at the given (or ambient) scale.
+
+    ``backend`` scopes a geometry-backend override over every join of
+    the experiment (object-only algorithms ignore it), so the ablation
+    scripts and the CLI ``--backend`` flag can sweep backends without
+    touching the experiment definitions.
+    """
     if not isinstance(scale, Scale):
         scale = current_scale(scale)
     try:
@@ -440,4 +456,11 @@ def run_experiment(name: str, scale: Scale | str | None = None) -> ExperimentRes
         raise KeyError(
             f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
         ) from None
-    return definition(scale)
+    if backend is None:
+        # No override requested: leave any ambient use_backend()/
+        # REPRO_BACKEND selection of the caller in effect.
+        return definition(scale)
+    with use_backend(backend):
+        result = definition(scale)
+    result.backend = backend
+    return result

@@ -86,6 +86,7 @@ def save_json(result: ExperimentResult, path: str | Path) -> Path:
         "title": result.title,
         "notes": result.notes,
         "scale": result.scale,
+        "backend": result.backend,
         "rows": result.rows,
     }
     path.write_text(json.dumps(payload, indent=2, default=str))

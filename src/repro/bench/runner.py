@@ -8,6 +8,8 @@ The outcome is a flat :class:`RunRecord` convenient for tabulation.
 
 from __future__ import annotations
 
+import contextlib
+import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -16,7 +18,37 @@ from repro.datasets.transform import inflate
 from repro.joins.base import JoinResult
 from repro.joins.registry import make_algorithm
 
-__all__ = ["RunRecord", "run_algorithm"]
+__all__ = ["RunRecord", "run_algorithm", "use_backend", "current_backend"]
+
+#: Ambient geometry-backend selection for backend sweeps.  ``None``
+#: leaves every algorithm at its own default (``"auto"``).  Set per
+#: process with the ``REPRO_BACKEND`` environment variable, or scoped
+#: with :func:`use_backend` (what the CLI ``--backend`` flag does).
+_ACTIVE_BACKEND: str | None = None
+
+
+def current_backend() -> str | None:
+    """The ambient backend override, if any."""
+    if _ACTIVE_BACKEND is not None:
+        return _ACTIVE_BACKEND
+    return os.environ.get("REPRO_BACKEND") or None
+
+
+@contextlib.contextmanager
+def use_backend(backend: str | None):
+    """Scope an ambient backend for every :func:`run_algorithm` call.
+
+    Threads a benchmark-wide ``--backend`` selection through experiment
+    definitions without widening every experiment signature; explicit
+    per-call ``backend=...`` overrides still win.
+    """
+    global _ACTIVE_BACKEND
+    previous = _ACTIVE_BACKEND
+    _ACTIVE_BACKEND = backend
+    try:
+        yield
+    finally:
+        _ACTIVE_BACKEND = previous
 
 
 @dataclass
@@ -118,8 +150,13 @@ def run_algorithm(
 
     The build side A is inflated by ε (the ε-reduction of §4); the probe
     side B is joined as is.  ``algorithm_overrides`` are forwarded to the
-    registry factory (e.g. ``fanout=8`` for the fanout sweep).
+    registry factory (e.g. ``fanout=8`` for the fanout sweep).  An
+    ambient backend (:func:`use_backend` / ``REPRO_BACKEND``) is applied
+    unless the call passes its own ``backend``.
     """
+    ambient = current_backend()
+    if ambient is not None and "backend" not in algorithm_overrides:
+        algorithm_overrides = {**algorithm_overrides, "backend": ambient}
     algorithm = make_algorithm(algorithm_name, **algorithm_overrides)
     build = (
         inflate(dataset_a, epsilon)

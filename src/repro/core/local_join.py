@@ -17,13 +17,24 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.core.tree import TouchTree
+from repro.core.tree import TouchNode, TouchTree
+from repro.geometry.columnar import CoordinateTable, require_numpy
 from repro.geometry.objects import SpatialObject
 from repro.joins.base import Pair
-from repro.joins.local import LOCAL_KERNELS, grid_kernel
+from repro.joins.local import (
+    COLUMNAR_KERNELS,
+    LOCAL_KERNELS,
+    grid_kernel,
+    grid_kernel_columnar,
+)
 from repro.stats.counters import JoinStatistics
 
-__all__ = ["join_assigned_nodes"]
+try:  # pragma: no cover - optional dependency of the columnar path
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+__all__ = ["join_assigned_nodes", "join_assigned_nodes_columnar"]
 
 
 def join_assigned_nodes(
@@ -83,3 +94,88 @@ def join_assigned_nodes(
         else:
             LOCAL_KERNELS[kernel_name](objects_a, entities_b, stats, sink)
     return pairs
+
+
+def join_assigned_nodes_columnar(
+    table_a: CoordinateTable,
+    leaf_slices: "dict[TouchNode, tuple[int, int]]",
+    table_b: CoordinateTable,
+    assigned: "dict[TouchNode, object]",
+    stats: JoinStatistics,
+    kernel_name: str = "grid",
+    cell_size_factor: float = 4.0,
+    max_cells_per_dim: int = 64,
+) -> list[Pair]:
+    """Columnar Algorithm 4 driver: one batched kernel call per node.
+
+    ``table_a`` holds dataset A in leaf order (``leaf_slices`` maps each
+    leaf to its contiguous row range, see :func:`leaf_order_table`);
+    ``assigned`` maps nodes to row indices of ``table_b`` as produced by
+    :func:`repro.core.assignment.assign_table_b`.  For every node holding
+    B rows, the A rows of its descendant leaves are gathered and the two
+    sub-tables are joined with the selected columnar kernel.  Disjoint
+    single-assignment batches keep the result duplicate-free (Lemma 3),
+    exactly as in the object path.
+    """
+    require_numpy()
+    if kernel_name not in COLUMNAR_KERNELS:
+        raise ValueError(f"unknown local kernel {kernel_name!r}")
+    pairs: list[Pair] = []
+    ids_a, ids_b = table_a.ids, table_b.ids
+    for node, b_rows in assigned.items():
+        if len(b_rows) == 0:
+            continue
+        a_rows = _subtree_rows(node, leaf_slices)
+        if len(a_rows) == 0:
+            continue
+        sub_a = table_a.take(a_rows)
+        sub_b = table_b.take(b_rows)
+        if kernel_name == "grid":
+            hit_a, hit_b = grid_kernel_columnar(
+                sub_a,
+                sub_b,
+                stats,
+                cell_size_factor=cell_size_factor,
+                max_cells_per_dim=max_cells_per_dim,
+            )
+        else:
+            hit_a, hit_b = COLUMNAR_KERNELS[kernel_name](sub_a, sub_b, stats)
+        if len(hit_a):
+            oid_a = ids_a[a_rows[hit_a]]
+            oid_b = ids_b[np.asarray(b_rows)[hit_b]]
+            pairs.extend(zip(oid_a.tolist(), oid_b.tolist()))
+    return pairs
+
+
+def leaf_order_table(tree: TouchTree):
+    """Dataset A as a coordinate table in leaf order, plus leaf slices.
+
+    Building the table leaf-by-leaf makes every leaf a contiguous row
+    range, so gathering the A objects under any node is a concatenation
+    of ranges rather than a scattered copy.
+    """
+    require_numpy()
+    objects: list[SpatialObject] = []
+    slices: dict[TouchNode, tuple[int, int]] = {}
+    for leaf in tree.leaves():
+        start = len(objects)
+        objects.extend(leaf.entities_a)
+        slices[leaf] = (start, len(objects))
+    return CoordinateTable.from_objects(objects), slices
+
+
+def _subtree_rows(node: TouchNode, leaf_slices: "dict[TouchNode, tuple[int, int]]"):
+    """Row indices of ``table_a`` for all A objects under ``node``."""
+    if node.is_leaf:
+        start, stop = leaf_slices[node]
+        return np.arange(start, stop, dtype=np.int64)
+    ranges = [
+        leaf_slices[child]
+        for child in node.iter_subtree()
+        if child.is_leaf
+    ]
+    if not ranges:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(
+        [np.arange(start, stop, dtype=np.int64) for start, stop in ranges]
+    )

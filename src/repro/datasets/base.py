@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence, overload
 
+from repro.geometry.columnar import CoordinateTable
 from repro.geometry.mbr import MBR, total_mbr
 from repro.geometry.objects import SpatialObject
 
@@ -73,6 +74,27 @@ class Dataset(Sequence[SpatialObject]):
         if self._objects:
             return self._objects[0].mbr.dim
         return self.universe.dim
+
+    # -- columnar conversion ------------------------------------------------
+    def to_table(self) -> CoordinateTable:
+        """The dataset as a contiguous coordinate table (columnar form).
+
+        Ids are the object ``oid``\\ s; coordinates round-trip exactly.
+        Exact geometries (refinement shapes) are not carried — the table
+        is the filtering-phase view of the data.
+        """
+        return CoordinateTable.from_objects(self._objects)
+
+    @classmethod
+    def from_table(
+        cls,
+        table: CoordinateTable,
+        name: str = "table",
+        universe: MBR | None = None,
+        metadata: dict | None = None,
+    ) -> "Dataset":
+        """Materialise a columnar table back into an object dataset."""
+        return cls(table.to_objects(), name=name, universe=universe, metadata=metadata)
 
     # -- derivation -----------------------------------------------------------
     def renamed(self, name: str) -> "Dataset":

@@ -28,7 +28,7 @@ from repro.joins.s3 import S3Join
 from repro.joins.seeded_tree import SeededTreeJoin
 from repro.joins.sssj import SSSJJoin
 
-__all__ = ["ALGORITHMS", "make_algorithm", "algorithm_names"]
+__all__ = ["ALGORITHMS", "BACKEND_AWARE", "make_algorithm", "algorithm_names"]
 
 
 def _touch_factory(**overrides) -> SpatialJoinAlgorithm:
@@ -57,17 +57,31 @@ ALGORITHMS: dict[str, Callable[..., SpatialJoinAlgorithm]] = {
 }
 
 
+#: Algorithms accepting a ``backend="object"|"columnar"`` parameter.
+#: The other approaches only exist in object form (their per-node
+#: traversal does not vectorise naturally); backend sweeps simply run
+#: them unchanged.
+BACKEND_AWARE = frozenset({"NL", "PBSM-500", "PBSM-100", "TOUCH"})
+
+
 def algorithm_names() -> list[str]:
     """All registered algorithm names."""
     return list(ALGORITHMS)
 
 
 def make_algorithm(name: str, **overrides) -> SpatialJoinAlgorithm:
-    """Instantiate a registered algorithm with optional overrides."""
+    """Instantiate a registered algorithm with optional overrides.
+
+    A ``backend`` override is forwarded only to the algorithms in
+    :data:`BACKEND_AWARE`; for the object-only approaches it is dropped,
+    so a benchmark sweep can pass one backend to every algorithm.
+    """
     try:
         factory = ALGORITHMS[name]
     except KeyError:
         raise KeyError(
             f"unknown algorithm {name!r}; known: {', '.join(ALGORITHMS)}"
         ) from None
+    if "backend" in overrides and name not in BACKEND_AWARE:
+        overrides = {k: v for k, v in overrides.items() if k != "backend"}
     return factory(**overrides)

@@ -18,7 +18,6 @@ compute from the strip indexes and needs no result memory.
 
 from __future__ import annotations
 
-import math
 import time
 from collections import defaultdict
 

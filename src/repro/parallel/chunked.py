@@ -19,11 +19,11 @@ takes the per-chunk maximum (each core only ever holds one chunk).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.geometry.mbr import MBR, total_mbr
 from repro.geometry.objects import SpatialObject
-from repro.joins.base import JoinResult, Pair, SpatialJoinAlgorithm
+from repro.joins.base import Pair, SpatialJoinAlgorithm
 from repro.stats.counters import JoinStatistics
 
 __all__ = ["ChunkedSpatialJoin", "slab_bounds"]

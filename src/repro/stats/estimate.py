@@ -14,7 +14,6 @@ the comparison query optimisers make.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 from repro.geometry.objects import SpatialObject

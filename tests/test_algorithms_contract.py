@@ -8,7 +8,7 @@ duplicate-free — i.e. identical to the nested-loop ground truth.
 
 import pytest
 
-from repro.datasets.synthetic import clustered_boxes, gaussian_boxes, uniform_boxes
+from repro.datasets.synthetic import clustered_boxes, uniform_boxes
 from repro.datasets.transform import inflate
 from repro.joins.registry import algorithm_names, make_algorithm
 from repro.validation import assert_matches_ground_truth

@@ -1,0 +1,158 @@
+"""Cross-backend contract: columnar == object, workload by workload.
+
+The columnar backend must return the exact pair set of the object
+backend — and, for TOUCH and NL, the exact instrumentation counters —
+on every workload of the algorithm contract suite (3-D and 2-D, all
+three distributions, with and without ε-inflation, edge cases).
+"""
+
+import pytest
+
+from repro.datasets.synthetic import clustered_boxes, uniform_boxes
+from repro.datasets.transform import inflate
+from repro.joins.registry import BACKEND_AWARE, make_algorithm
+
+#: Counters that must match bit-for-bit across backends (PBSM excepted
+#: on comparisons: its columnar cell join counts nested-loop candidates
+#: where the object path sweeps).
+_EXACT_COUNTERS = ("filtered", "replicated_entries", "duplicates_suppressed")
+
+PORTED = sorted(BACKEND_AWARE)
+
+
+def _both(algorithm, dataset_a, dataset_b):
+    obj = make_algorithm(algorithm, backend="object").join(dataset_a, dataset_b)
+    col = make_algorithm(algorithm, backend="columnar").join(dataset_a, dataset_b)
+    assert col.pair_set() == obj.pair_set(), algorithm
+    assert len(col.pairs) == len(obj.pairs)  # set-equal AND duplicate-free
+    for counter in _EXACT_COUNTERS:
+        assert getattr(col.stats, counter) == getattr(obj.stats, counter), counter
+    if algorithm in ("TOUCH", "NL"):
+        assert col.stats.comparisons == obj.stats.comparisons
+    return obj, col
+
+
+@pytest.mark.parametrize("algorithm", PORTED)
+class TestBackendParity3D:
+    def test_uniform(self, algorithm, small_uniform_pair):
+        _both(algorithm, *small_uniform_pair)
+
+    def test_gaussian(self, algorithm, small_gaussian_pair):
+        _both(algorithm, *small_gaussian_pair)
+
+    def test_clustered(self, algorithm, small_clustered_pair):
+        _both(algorithm, *small_clustered_pair)
+
+    def test_with_epsilon_inflation(self, algorithm, small_uniform_pair):
+        dataset_a, dataset_b = small_uniform_pair
+        _both(algorithm, inflate(dataset_a, 25.0), dataset_b)
+
+
+@pytest.mark.parametrize("algorithm", PORTED)
+class TestBackendParity2D:
+    def test_uniform_2d(self, algorithm):
+        a = uniform_boxes(60, seed=31, dim=2, side_range=(0.0, 40.0))
+        b = uniform_boxes(180, seed=32, dim=2, side_range=(0.0, 40.0))
+        _both(algorithm, a, b)
+
+    def test_clustered_2d(self, algorithm):
+        a = clustered_boxes(60, seed=33, dim=2, n_clusters=5)
+        b = clustered_boxes(180, seed=34, dim=2, n_clusters=5)
+        _both(algorithm, a, b)
+
+
+@pytest.mark.parametrize("algorithm", PORTED)
+class TestBackendParityEdges:
+    def test_empty_inputs(self, algorithm, small_uniform_pair):
+        dataset_a, _ = small_uniform_pair
+        assert make_algorithm(algorithm, backend="columnar").join([], []).pairs == []
+        assert (
+            make_algorithm(algorithm, backend="columnar").join(dataset_a, []).pairs
+            == []
+        )
+
+    def test_touching_boundaries(self, algorithm):
+        from repro.geometry.objects import box_object
+
+        a = [box_object(0, (0, 0), (1, 1)), box_object(1, (5, 5), (6, 6))]
+        b = [
+            box_object(0, (1, 0), (2, 1)),
+            box_object(1, (6, 6), (7, 7)),
+            box_object(2, (3, 3), (4, 4)),
+        ]
+        obj, col = _both(algorithm, a, b)
+        assert col.pair_set() == {(0, 0), (1, 1)}
+
+    def test_identical_datasets(self, algorithm):
+        data = list(uniform_boxes(40, seed=35, side_range=(0.0, 60.0)))
+        _both(algorithm, data, data)
+
+
+@pytest.mark.parametrize("kernel", ["grid", "sweep", "nested"])
+def test_touch_kernels_backend_parity(kernel, small_clustered_pair):
+    """Every local-join kernel has a matching columnar twin."""
+    from repro.core.touch import TouchJoin
+
+    dataset_a, dataset_b = small_clustered_pair
+    obj = TouchJoin(local_kernel=kernel, backend="object").join(dataset_a, dataset_b)
+    col = TouchJoin(local_kernel=kernel, backend="columnar").join(dataset_a, dataset_b)
+    assert col.pair_set() == obj.pair_set()
+    assert col.stats.comparisons == obj.stats.comparisons
+
+
+def test_backend_recorded_in_stats(small_uniform_pair):
+    dataset_a, dataset_b = small_uniform_pair
+    result = make_algorithm("TOUCH").join(dataset_a, dataset_b)
+    assert result.stats.extra["backend"] == "columnar"  # numpy is installed
+    result = make_algorithm("TOUCH", backend="object").join(dataset_a, dataset_b)
+    assert result.stats.extra["backend"] == "object"
+
+
+def test_backend_override_ignored_for_object_only_algorithms():
+    """A sweep can pass one backend to every registered algorithm."""
+    algorithm = make_algorithm("S3", backend="columnar")
+    assert not hasattr(algorithm, "backend")
+
+
+def test_cli_backend_flag(tmp_path, capsys):
+    """`repro-touch run --backend` threads down to every join."""
+    import json
+    import os
+
+    from repro.bench.cli import main
+
+    os.environ["REPRO_SCALE"] = "smoke"
+    try:
+        out = tmp_path / "fig13.json"
+        assert main(["run", "fig13", "--backend", "object", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["backend"] == "object"
+        assert all(row["backend"] == "object" for row in payload["rows"])
+        capsys.readouterr()
+    finally:
+        del os.environ["REPRO_SCALE"]
+
+
+def test_runner_ambient_backend(small_uniform_pair):
+    from repro.bench.runner import run_algorithm, use_backend
+
+    dataset_a, dataset_b = small_uniform_pair
+    with use_backend("object"):
+        record = run_algorithm("TOUCH", dataset_a, dataset_b, 5.0)
+    assert record.extra["backend"] == "object"
+    # Explicit per-call override beats the ambient selection.
+    with use_backend("object"):
+        record = run_algorithm("TOUCH", dataset_a, dataset_b, 5.0, backend="columnar")
+    assert record.extra["backend"] == "columnar"
+
+
+def test_run_experiment_preserves_ambient_backend(monkeypatch):
+    """run_experiment(backend=None) must not clobber a caller's ambient
+    use_backend() scope (regression: it used to enter use_backend(None))."""
+    from repro.bench.experiments import run_experiment
+    from repro.bench.runner import use_backend
+
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    with use_backend("object"):
+        result = run_experiment("fig13")
+    assert {row["backend"] for row in result.rows} == {"object"}

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.bench.config import SCALES, Scale, current_scale
+from repro.bench.config import SCALES, current_scale
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import format_table, save_json, summarize_series
 from repro.bench.runner import run_algorithm

@@ -1,0 +1,250 @@
+"""The columnar geometry backend: tables, batch kernels, bulk grid.
+
+Property tests pin the batch kernels to the object model's semantics —
+closed boxes, touching edges intersect, degenerate (point) boxes allowed
+— and unit tests cover the conversions and the vectorised grid/assignment
+machinery against their object-model twins.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.assignment import assign_dataset_b, assign_table_b
+from repro.core.tree import TouchTree
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import uniform_boxes
+from repro.geometry.columnar import (
+    BACKENDS,
+    CoordinateTable,
+    concat_ranges,
+    intersect_pairs,
+    intersects_many,
+    overlap_mask,
+    resolve_backend,
+    sweep_pairs,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import SpatialObject, box_object
+from repro.grid.columnar import ColumnarGrid
+from repro.grid.uniform import UniformGrid
+from repro.stats.counters import JoinStatistics
+
+
+# -- box strategies ----------------------------------------------------
+# Integer corners force plenty of exactly-touching edges/corners and
+# zero-extent (point) boxes — the cases where open/closed semantics and
+# strict/non-strict comparisons diverge.
+def _boxes(dim: int, max_n: int = 12):
+    corner = st.integers(min_value=-6, max_value=6)
+    extent = st.integers(min_value=0, max_value=4)
+    box = st.tuples(
+        st.tuples(*[corner] * dim), st.tuples(*[extent] * dim)
+    ).map(
+        lambda t: MBR(
+            tuple(float(c) for c in t[0]),
+            tuple(float(c + e) for c, e in zip(t[0], t[1])),
+        )
+    )
+    return st.lists(box, min_size=1, max_size=max_n)
+
+
+def _table(mbrs) -> CoordinateTable:
+    return CoordinateTable.from_mbrs(mbrs)
+
+
+class TestIntersectsManyProperty:
+    @given(_boxes(2), _boxes(2))
+    def test_matches_pairwise_2d(self, boxes_a, boxes_b):
+        matrix = intersects_many(_table(boxes_a), _table(boxes_b))
+        for i, a in enumerate(boxes_a):
+            for j, b in enumerate(boxes_b):
+                assert matrix[i, j] == a.intersects(b)
+
+    @given(_boxes(3), _boxes(3))
+    def test_matches_pairwise_3d(self, boxes_a, boxes_b):
+        matrix = intersects_many(_table(boxes_a), _table(boxes_b))
+        for i, a in enumerate(boxes_a):
+            for j, b in enumerate(boxes_b):
+                assert matrix[i, j] == a.intersects(b)
+
+    @given(_boxes(3), _boxes(3))
+    def test_pairs_kernels_agree_with_matrix(self, boxes_a, boxes_b):
+        """intersect_pairs and sweep_pairs report exactly the matrix."""
+        table_a, table_b = _table(boxes_a), _table(boxes_b)
+        truth = {
+            (i, j)
+            for i, j in zip(*np.nonzero(intersects_many(table_a, table_b)))
+        }
+        nested = set(zip(*(arr.tolist() for arr in intersect_pairs(table_a, table_b))))
+        assert nested == truth
+        idx_a, idx_b, candidates = sweep_pairs(table_a, table_b)
+        swept = set(zip(idx_a.tolist(), idx_b.tolist()))
+        assert swept == truth
+        assert len(idx_a) <= candidates <= len(boxes_a) * len(boxes_b)
+
+    def test_touching_edges_and_points(self):
+        boxes_a = [
+            MBR((0.0, 0.0), (1.0, 1.0)),
+            MBR((2.0, 2.0), (2.0, 2.0)),  # a point
+        ]
+        boxes_b = [
+            MBR((1.0, 1.0), (2.0, 2.0)),  # shares corner with both
+            MBR((5.0, 5.0), (6.0, 6.0)),
+        ]
+        matrix = intersects_many(_table(boxes_a), _table(boxes_b))
+        assert matrix.tolist() == [[True, False], [True, False]]
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimension"):
+            intersects_many(_table([MBR((0,), (1,))]), _table([MBR((0, 0), (1, 1))]))
+
+
+class TestCoordinateTable:
+    def test_object_round_trip(self):
+        objects = list(uniform_boxes(50, seed=201))
+        table = CoordinateTable.from_objects(objects)
+        assert len(table) == 50 and table.dim == 3
+        back = table.to_objects()
+        assert [o.oid for o in back] == [o.oid for o in objects]
+        assert all(x.mbr == y.mbr for x, y in zip(back, objects))
+
+    def test_dataset_round_trip(self):
+        dataset = uniform_boxes(30, seed=202)
+        table = dataset.to_table()
+        assert table.nbytes == 30 * (2 * 3 * 8 + 8)
+        back = Dataset.from_table(table, name="restored")
+        assert back.name == "restored"
+        assert list(back) == list(dataset)
+
+    def test_take_and_mbr(self):
+        table = _table([MBR((0.0, 0.0), (1.0, 2.0)), MBR((3.0, 3.0), (4.0, 5.0))])
+        sub = table.take(np.array([1]))
+        assert len(sub) == 1
+        assert sub.mbr(0) == MBR((3.0, 3.0), (4.0, 5.0))
+
+    def test_overlap_mask(self):
+        table = _table([MBR((0.0, 0.0), (1.0, 1.0)), MBR((5.0, 5.0), (6.0, 6.0))])
+        assert overlap_mask(table, (1.0, 1.0), (2.0, 2.0)).tolist() == [True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="zero objects"):
+            CoordinateTable.from_objects([])
+        with pytest.raises(ValueError, match="shape"):
+            CoordinateTable(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError, match="ids"):
+            CoordinateTable(np.zeros((2, 4)), np.zeros(3))
+
+    def test_concat_ranges(self):
+        anchors, values = concat_ranges(np.array([5, 0, 7]), np.array([2, 0, 3]))
+        assert anchors.tolist() == [0, 0, 2, 2, 2]
+        assert values.tolist() == [5, 6, 7, 8, 9]
+
+
+class TestBackendResolution:
+    def test_auto_resolves_to_columnar_with_numpy(self):
+        assert resolve_backend("auto") == "columnar"
+
+    def test_explicit_passthrough(self):
+        assert resolve_backend("object") == "object"
+        assert resolve_backend("columnar") == "columnar"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend("gpu")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_constructors_accept_all(self, backend):
+        from repro.core.touch import TouchJoin
+        from repro.joins.nested_loop import NestedLoopJoin
+        from repro.joins.pbsm import PBSMJoin
+
+        for cls in (TouchJoin, NestedLoopJoin, PBSMJoin):
+            assert cls(backend=backend).backend == backend
+
+    def test_constructors_reject_unknown(self):
+        from repro.core.touch import TouchJoin
+        from repro.joins.nested_loop import NestedLoopJoin
+        from repro.joins.pbsm import PBSMJoin
+
+        for cls in (TouchJoin, NestedLoopJoin, PBSMJoin):
+            with pytest.raises(ValueError, match="backend"):
+                cls(backend="bogus")
+
+
+class TestColumnarGridParity:
+    @given(_boxes(2, max_n=20), st.integers(min_value=1, max_value=7))
+    def test_entry_counts_match_uniform_grid(self, boxes, resolution):
+        universe = MBR((-8.0, -8.0), (12.0, 12.0))
+        object_grid = UniformGrid(universe, resolution=resolution)
+        for i, box in enumerate(boxes):
+            object_grid.insert(i, box)
+        table = _table(boxes)
+        grid = ColumnarGrid(
+            np.array(universe.lo), np.array(universe.hi), resolution=resolution
+        )
+        obj_idx, keys = grid.entries(table)
+        assert len(obj_idx) == object_grid.reference_count
+        assert len(np.unique(keys)) == len(object_grid)
+
+    def test_cell_indices_clamped(self):
+        grid = ColumnarGrid(np.zeros(2), np.full(2, 10.0), resolution=5)
+        points = np.array([[-3.0, 4.9], [11.0, 10.0]])
+        assert grid.cell_indices(points).tolist() == [[0, 2], [4, 4]]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ColumnarGrid(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match=">= 1"):
+            ColumnarGrid(np.zeros(2), np.ones(2), resolution=0)
+        with pytest.raises(ValueError, match="positive"):
+            ColumnarGrid(np.zeros(2), np.ones(2), cell_size=0.0)
+
+
+class TestBatchedAssignmentParity:
+    @pytest.mark.parametrize("seed", [301, 302, 303])
+    def test_same_nodes_and_filtering_as_scalar_walk(self, seed):
+        objects_a = list(uniform_boxes(120, seed=seed, side_range=(0.0, 15.0)))
+        objects_b = list(uniform_boxes(400, seed=seed + 50, side_range=(0.0, 15.0)))
+
+        scalar_tree = TouchTree(objects_a, num_partitions=16)
+        scalar_stats = JoinStatistics()
+        assign_dataset_b(scalar_tree, objects_b, scalar_stats)
+
+        batched_tree = TouchTree(objects_a, num_partitions=16)
+        batched_stats = JoinStatistics()
+        table_b = CoordinateTable.from_objects(objects_b)
+        assigned = assign_table_b(batched_tree, table_b, objects_b, batched_stats)
+
+        assert batched_stats.filtered == scalar_stats.filtered
+        scalar_map = {
+            node.mbr: sorted(o.oid for o in node.entities_b)
+            for node in scalar_tree.iter_nodes()
+            if node.entities_b
+        }
+        batched_map = {
+            node.mbr: sorted(o.oid for o in node.entities_b)
+            for node in batched_tree.iter_nodes()
+            if node.entities_b
+        }
+        assert batched_map == scalar_map
+        # The returned row indices mirror the attached objects.
+        for node, rows in assigned.items():
+            assert sorted(table_b.ids[rows].tolist()) == sorted(
+                o.oid for o in node.entities_b
+            )
+
+    def test_empty_b(self):
+        tree = TouchTree([box_object(0, (0, 0), (1, 1))])
+        table = CoordinateTable(np.empty((0, 4)), np.empty(0, dtype=np.int64))
+        assert assign_table_b(tree, table) == {}
+
+    def test_all_filtered(self):
+        tree = TouchTree([box_object(0, (0.0, 0.0), (1.0, 1.0))])
+        far = [SpatialObject(7, MBR((50.0, 50.0), (51.0, 51.0)))]
+        stats = JoinStatistics()
+        assigned = assign_table_b(
+            tree, CoordinateTable.from_objects(far), far, stats
+        )
+        assert assigned == {} and stats.filtered == 1

@@ -59,7 +59,6 @@ class TestDistributionShapes:
     def test_gaussian_concentrates_in_center(self):
         """μ=500, σ=250: the central octant must be over-represented."""
         dataset = gaussian_boxes(2000, seed=4)
-        center_box = dataset.universe.expand(-250.0) if False else None
         inner = sum(
             1
             for o in dataset

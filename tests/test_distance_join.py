@@ -7,7 +7,6 @@ from repro.core.refine import exact_distance, refine_pairs
 from repro.core.touch import TouchJoin
 from repro.datasets.synthetic import uniform_boxes
 from repro.geometry.distance import Cylinder
-from repro.geometry.mbr import MBR
 from repro.geometry.objects import SpatialObject, box_object
 from repro.joins.nested_loop import NestedLoopJoin
 

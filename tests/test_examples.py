@@ -17,7 +17,17 @@ def test_examples_exist():
     assert "algorithm_shootout.py" in names
 
 
-@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def _example_param(path: Path):
+    """The full-shootout example replays most of the evaluation; mark it
+    slow so the CI matrix (``-m "not slow"``) stays fast."""
+    if path.stem == "algorithm_shootout":
+        return pytest.param(path, marks=pytest.mark.slow)
+    return path
+
+
+@pytest.mark.parametrize(
+    "script", [_example_param(p) for p in EXAMPLES], ids=lambda p: p.stem
+)
 def test_example_runs(script):
     completed = subprocess.run(
         [sys.executable, str(script)],

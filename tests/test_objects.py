@@ -1,6 +1,5 @@
 """Unit tests for spatial objects."""
 
-import pytest
 
 from repro.geometry.distance import Cylinder
 from repro.geometry.mbr import MBR

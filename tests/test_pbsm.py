@@ -44,7 +44,12 @@ class TestConfiguration:
 
     def test_describe(self):
         info = PBSMJoin(resolution=42, local_kernel="nested").describe()
-        assert info == {"resolution": 42, "cell_size": None, "local_kernel": "nested"}
+        assert info == {
+            "resolution": 42,
+            "cell_size": None,
+            "local_kernel": "nested",
+            "backend": "auto",
+        }
 
 
 class TestReplication:

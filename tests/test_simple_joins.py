@@ -20,7 +20,17 @@ class TestNestedLoop:
         assert result.stats.comparisons == len(A) * len(B)
 
     def test_zero_memory_model(self):
-        assert NestedLoopJoin().join(A, B).stats.memory_bytes == 0
+        """The object path builds nothing; the columnar path reports
+        exactly its two coordinate tables (56 bytes per 3-D object)."""
+        assert NestedLoopJoin(backend="object").join(A, B).stats.memory_bytes == 0
+        columnar = NestedLoopJoin(backend="columnar").join(A, B).stats
+        assert columnar.memory_bytes == 56 * (len(A) + len(B))
+
+    def test_backends_agree(self):
+        obj = NestedLoopJoin(backend="object").join(A, B)
+        col = NestedLoopJoin(backend="columnar").join(A, B)
+        assert obj.pairs == col.pairs  # identical A-major order, not just set
+        assert obj.stats.comparisons == col.stats.comparisons
 
 
 class TestPlaneSweep:
