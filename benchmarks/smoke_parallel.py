@@ -1,0 +1,173 @@
+"""Parallel-engine smoke benchmark: speedup vs workers, parity enforced.
+
+Runs the Figure-9 uniform workload sequentially and through the
+multiprocess engine at increasing worker counts, asserting the *pair
+sets are identical* at every configuration (any mismatch raises — that
+part is never flaky) and recording the wall-clock speedups as a JSON
+artifact uploaded by CI, seeding the performance trajectory.
+
+Timing is reported, not asserted: if parallel execution at the highest
+worker count is slower than sequential, the script *warns* (CI hardware
+varies, container schedulers throttle) but still exits 0 unless
+``--strict-timing`` is given.
+
+Usage::
+
+    python benchmarks/smoke_parallel.py --out bench-parallel.json
+    python benchmarks/smoke_parallel.py --scale medium --workers 1 2 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.config import SCALES
+from repro.bench.workloads import synthetic_pair
+from repro.datasets.transform import inflate
+from repro.joins.registry import ALGORITHMS, AlgorithmSpec
+from repro.parallel.decompose import DECOMPOSE_KINDS
+from repro.parallel.engine import ParallelChunkedJoin, shutdown_pools
+
+DEFAULT_WORKER_STEPS = (1, 2, 4)
+
+
+def run_sequential(spec: AlgorithmSpec, build, probe) -> dict:
+    start = time.perf_counter()
+    result = spec.make().join(build, probe)
+    wall = time.perf_counter() - start
+    return {
+        "engine": "sequential",
+        "wall_seconds": wall,
+        "result_pairs": len(result.pairs),
+        "comparisons": result.stats.comparisons,
+        "pair_set": result.pair_set(),
+    }
+
+
+def run_parallel(spec: AlgorithmSpec, build, probe, workers: int, kind: str) -> dict:
+    engine = ParallelChunkedJoin(spec, workers=workers, kind=kind)
+    start = time.perf_counter()
+    result = engine.join(build, probe)
+    wall = time.perf_counter() - start
+    extra = result.stats.extra
+    return {
+        "engine": "parallel",
+        "workers": workers,
+        "decompose": kind,
+        "n_chunks": extra["n_chunks"],
+        "wall_seconds": wall,
+        "decompose_seconds": extra["decompose_seconds"],
+        "worker_join_seconds": extra["worker_join_seconds"],
+        "merge_seconds": extra["merge_seconds"],
+        "result_pairs": len(result.pairs),
+        "comparisons": result.stats.comparisons,
+        "pair_set": result.pair_set(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
+    parser.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="TOUCH")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_WORKER_STEPS),
+        help="worker counts of the speedup sweep",
+    )
+    parser.add_argument("--decompose", choices=DECOMPOSE_KINDS, default="slabs")
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the speedup report as JSON"
+    )
+    parser.add_argument(
+        "--strict-timing",
+        action="store_true",
+        help="fail (exit 1) when the widest parallel run is slower than "
+        "sequential instead of warning",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    dataset_a, dataset_b = synthetic_pair("uniform", scale.large_a, n_b, scale)
+    build = inflate(dataset_a, scale.large_epsilon)
+    probe = list(dataset_b)
+    spec = AlgorithmSpec.create(args.algorithm)
+
+    runs = [run_sequential(spec, build, probe)]
+    for workers in args.workers:
+        runs.append(run_parallel(spec, build, probe, workers, args.decompose))
+
+    # Pair parity is the hard invariant — assert it before any reporting.
+    reference = runs[0]["pair_set"]
+    for run in runs[1:]:
+        if run["pair_set"] != reference:
+            missing = len(reference - run["pair_set"])
+            extra = len(run["pair_set"] - reference)
+            raise AssertionError(
+                f"parallel({run['workers']}, {run['decompose']}) diverges from "
+                f"sequential: {missing} missing pairs, {extra} spurious pairs"
+            )
+    for run in runs:
+        del run["pair_set"]
+
+    sequential_wall = runs[0]["wall_seconds"]
+    for run in runs[1:]:
+        run["speedup"] = (
+            sequential_wall / run["wall_seconds"] if run["wall_seconds"] > 0 else None
+        )
+
+    print(
+        f"{args.algorithm} on fig9-uniform/{args.scale} "
+        f"(|A|={len(dataset_a)}, |B|={len(dataset_b)}, "
+        f"eps={scale.large_epsilon:g}, {args.decompose})"
+    )
+    print(f"  sequential      {sequential_wall:8.3f}s  parity=reference")
+    for run in runs[1:]:
+        print(
+            f"  parallel({run['workers']})     {run['wall_seconds']:8.3f}s  "
+            f"speedup={run['speedup']:.2f}x  chunks={run['n_chunks']}  parity=OK"
+        )
+
+    widest = max(runs[1:], key=lambda run: run["workers"])
+    slower = widest["wall_seconds"] > sequential_wall
+    if slower:
+        print(
+            f"WARNING: parallel({widest['workers']}) is slower than sequential "
+            f"({widest['wall_seconds']:.3f}s vs {sequential_wall:.3f}s) — "
+            f"expected on boxes with fewer than {widest['workers']} free cores; "
+            "pair parity still holds."
+        )
+
+    if args.out is not None:
+        report = {
+            "workload": {
+                "experiment": "fig9-uniform",
+                "algorithm": args.algorithm,
+                "n_a": len(dataset_a),
+                "n_b": len(dataset_b),
+                "epsilon": scale.large_epsilon,
+                "scale": scale.name,
+                "decompose": args.decompose,
+            },
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "runs": runs,
+        }
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2))
+        print(f"wrote {args.out}")
+
+    shutdown_pools()
+    return 1 if (slower and args.strict_timing) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,19 @@ from repro.joins import (
     algorithm_names,
     make_algorithm,
 )
+from repro.joins.registry import AlgorithmSpec
+from repro.parallel.chunked import ChunkedSpatialJoin
 from repro.stats import JoinStatistics
+
+
+def __getattr__(name: str):
+    # The multiprocess engine is exported lazily: resolving it imports
+    # multiprocessing machinery sequential users never need.
+    if name == "ParallelChunkedJoin":
+        from repro.parallel.engine import ParallelChunkedJoin
+
+        return ParallelChunkedJoin
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
 
@@ -63,5 +75,8 @@ __all__ = [
     "ALGORITHMS",
     "algorithm_names",
     "make_algorithm",
+    "AlgorithmSpec",
+    "ChunkedSpatialJoin",
+    "ParallelChunkedJoin",
     "__version__",
 ]

@@ -20,6 +20,7 @@ from repro.bench.config import DEFAULT_SCALE, SCALES
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import print_experiment, save_json
 from repro.geometry.columnar import BACKENDS
+from repro.parallel.decompose import DECOMPOSE_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -41,11 +42,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(object | columnar | auto); algorithms without a columnar "
         "port run unchanged — used for backend ablation sweeps",
     )
+    workers_kwargs = dict(
+        type=int,
+        default=None,
+        metavar="N",
+        help="run every join through the multiprocess engine with N "
+        "worker processes (the paper's §3 per-core decomposition); "
+        "omit for sequential execution",
+    )
+    decompose_kwargs = dict(
+        choices=DECOMPOSE_KINDS,
+        default=None,
+        help="universe cutting for --workers: contiguous 1-D slabs "
+        "(default, the paper's BlueGene/P layout) or a 2-D tile grid",
+    )
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--scale", choices=sorted(SCALES), default=None)
     run.add_argument("--backend", **backend_kwargs)
+    run.add_argument("--workers", **workers_kwargs)
+    run.add_argument("--decompose", **decompose_kwargs)
     run.add_argument("--json", type=Path, default=None, help="also write rows as JSON")
     run.add_argument(
         "--chart",
@@ -58,6 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--scale", choices=sorted(SCALES), default=None)
     everything.add_argument("--backend", **backend_kwargs)
+    everything.add_argument("--workers", **workers_kwargs)
+    everything.add_argument("--decompose", **decompose_kwargs)
     everything.add_argument(
         "--out-dir", type=Path, default=None, help="write one JSON per experiment"
     )
@@ -78,8 +97,12 @@ def _cmd_run(
     json_path: Path | None,
     chart_metric: str | None,
     backend: str | None = None,
+    workers: int | None = None,
+    decompose: str | None = None,
 ) -> int:
-    result = run_experiment(experiment, scale, backend=backend)
+    result = run_experiment(
+        experiment, scale, backend=backend, workers=workers, decompose=decompose
+    )
     print_experiment(result)
     if chart_metric is not None:
         from repro.bench.charts import chart_for_experiment
@@ -98,9 +121,17 @@ def _cmd_run(
     return 0
 
 
-def _cmd_all(scale: str | None, out_dir: Path | None, backend: str | None = None) -> int:
+def _cmd_all(
+    scale: str | None,
+    out_dir: Path | None,
+    backend: str | None = None,
+    workers: int | None = None,
+    decompose: str | None = None,
+) -> int:
     for name in EXPERIMENTS:
-        result = run_experiment(name, scale, backend=backend)
+        result = run_experiment(
+            name, scale, backend=backend, workers=workers, decompose=decompose
+        )
         print_experiment(result)
         if out_dir is not None:
             save_json(result, out_dir / f"{name}.json")
@@ -113,9 +144,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.scale, args.json, args.chart, args.backend)
+        return _cmd_run(
+            args.experiment,
+            args.scale,
+            args.json,
+            args.chart,
+            args.backend,
+            args.workers,
+            args.decompose,
+        )
     if args.command == "all":
-        return _cmd_all(args.scale, args.out_dir, args.backend)
+        return _cmd_all(args.scale, args.out_dir, args.backend, args.workers, args.decompose)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

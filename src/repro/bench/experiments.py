@@ -10,6 +10,7 @@ to reproduce; ``EXPERIMENTS.md`` tracks paper-vs-measured per claim.
 
 from __future__ import annotations
 
+import contextlib
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -22,6 +23,7 @@ from repro.bench.runner import (
     record_from_result,
     run_algorithm,
     use_backend,
+    use_parallel,
 )
 from repro.bench.workloads import (
     FIG8_ALGORITHMS,
@@ -416,6 +418,65 @@ def experiment_ablation_chunked(scale: Scale) -> ExperimentResult:
     return out
 
 
+# --------------------------------------------------------------------------
+# §3 — speedup vs workers (the BlueGene/P deployment, on multicore)
+# --------------------------------------------------------------------------
+#: Worker counts of the scaling sweep (the Fig-9-style speedup curve).
+PARALLEL_WORKER_STEPS = (1, 2, 4)
+
+
+def experiment_parallel_scaling(scale: Scale) -> ExperimentResult:
+    """Speedup-vs-workers on the Figure 9 uniform workload, both cuttings.
+
+    One sequential baseline, then the multiprocess engine at 1/2/4
+    workers over slabs and tiles; every run must return the baseline's
+    pair set (asserted — the curve is worthless if parity breaks).
+    """
+    out = ExperimentResult(
+        "parallel_scaling",
+        "Sec. 3: multiprocess speedup vs workers, Figure-9 uniform workload",
+        notes=(
+            "The paper's deployment joins contiguous subsets independently "
+            "per core; with partition-granular parallelism the speedup "
+            "should grow near-linearly until the core count (Tsitsigkos & "
+            "Mamoulis) while pair sets stay identical to sequential."
+        ),
+        scale=scale.name,
+    )
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    dataset_a, dataset_b = synthetic_pair("uniform", scale.large_a, n_b, scale)
+    baseline = run_algorithm(
+        "TOUCH", dataset_a, dataset_b, scale.large_epsilon, workers=0
+    )
+    out.add(baseline, engine="sequential", workers=0, speedup=1.0)
+    for decompose in ("slabs", "tiles"):
+        for workers in PARALLEL_WORKER_STEPS:
+            record = run_algorithm(
+                "TOUCH",
+                dataset_a,
+                dataset_b,
+                scale.large_epsilon,
+                workers=workers,
+                decompose=decompose,
+            )
+            if record.result_pairs != baseline.result_pairs:
+                raise AssertionError(
+                    f"parallel({workers}, {decompose}) returned "
+                    f"{record.result_pairs} pairs, sequential returned "
+                    f"{baseline.result_pairs}"
+                )
+            out.add(
+                record,
+                engine="parallel",
+                speedup=(
+                    baseline.total_seconds / record.total_seconds
+                    if record.total_seconds > 0
+                    else float("inf")
+                ),
+            )
+    return out
+
+
 #: experiment id → definition, in paper order.
 EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "table1": experiment_table1,
@@ -433,6 +494,7 @@ EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "ablation_joinorder": experiment_ablation_joinorder,
     "ablation_partitions": experiment_ablation_partitions,
     "ablation_chunked": experiment_ablation_chunked,
+    "parallel_scaling": experiment_parallel_scaling,
 }
 
 
@@ -440,13 +502,18 @@ def run_experiment(
     name: str,
     scale: Scale | str | None = None,
     backend: str | None = None,
+    workers: int | None = None,
+    decompose: str | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id at the given (or ambient) scale.
 
     ``backend`` scopes a geometry-backend override over every join of
     the experiment (object-only algorithms ignore it), so the ablation
     scripts and the CLI ``--backend`` flag can sweep backends without
-    touching the experiment definitions.
+    touching the experiment definitions.  ``workers`` / ``decompose``
+    likewise scope the multiprocess engine (CLI ``--workers`` /
+    ``--decompose``) over every join; experiments that pick their own
+    engine per run (``parallel_scaling``) are unaffected.
     """
     if not isinstance(scale, Scale):
         scale = current_scale(scale)
@@ -456,11 +523,14 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
         ) from None
-    if backend is None:
-        # No override requested: leave any ambient use_backend()/
-        # REPRO_BACKEND selection of the caller in effect.
-        return definition(scale)
-    with use_backend(backend):
+    with contextlib.ExitStack() as stack:
+        if backend is not None:
+            stack.enter_context(use_backend(backend))
+        if workers is not None:
+            stack.enter_context(use_parallel(workers, decompose or "slabs"))
+        # With no override the caller's ambient use_backend()/
+        # REPRO_BACKEND/use_parallel() selections stay in effect.
         result = definition(scale)
-    result.backend = backend
+    if backend is not None:
+        result.backend = backend
     return result

@@ -23,6 +23,19 @@ DEFAULT_COLUMNS = (
     "total_seconds",
 )
 
+#: Parallel-engine columns, surfaced (in this order) right after the
+#: default columns whenever rows carry them: the decomposition, the
+#: worker count, and the three phase wall-clocks recorded by the
+#: chunked/multiprocess engines in ``JoinStatistics.extra``.
+PARALLEL_COLUMNS = (
+    "workers",
+    "n_chunks",
+    "decompose",
+    "decompose_seconds",
+    "worker_join_seconds",
+    "merge_seconds",
+)
+
 
 def _format_value(value) -> str:
     if isinstance(value, float):
@@ -40,10 +53,12 @@ def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> 
         return "(no rows)"
     if columns is None:
         columns = [c for c in DEFAULT_COLUMNS if any(c in row for row in rows)]
+        columns += [c for c in PARALLEL_COLUMNS if any(c in row for row in rows)]
         extras = sorted(
             {key for row in rows for key in row}
             - set(columns)
             - set(DEFAULT_COLUMNS)
+            - set(PARALLEL_COLUMNS)
             - {
                 "n_a",
                 "selectivity",

@@ -16,15 +16,29 @@ from typing import Sequence
 from repro.datasets.base import Dataset
 from repro.datasets.transform import inflate
 from repro.joins.base import JoinResult
-from repro.joins.registry import make_algorithm
+from repro.joins.registry import AlgorithmSpec, make_algorithm
 
-__all__ = ["RunRecord", "run_algorithm", "use_backend", "current_backend"]
+__all__ = [
+    "RunRecord",
+    "run_algorithm",
+    "use_backend",
+    "current_backend",
+    "use_parallel",
+    "current_parallel",
+]
 
 #: Ambient geometry-backend selection for backend sweeps.  ``None``
 #: leaves every algorithm at its own default (``"auto"``).  Set per
 #: process with the ``REPRO_BACKEND`` environment variable, or scoped
 #: with :func:`use_backend` (what the CLI ``--backend`` flag does).
 _ACTIVE_BACKEND: str | None = None
+
+#: Ambient parallel-execution selection, mirroring the backend override:
+#: ``(workers, decompose_kind)`` or ``None`` for sequential execution.
+#: Set per process with ``REPRO_WORKERS`` / ``REPRO_DECOMPOSE``, or
+#: scoped with :func:`use_parallel` (what the CLI ``--workers`` /
+#: ``--decompose`` flags do).
+_ACTIVE_PARALLEL: tuple[int, str] | None = None
 
 
 def current_backend() -> str | None:
@@ -49,6 +63,35 @@ def use_backend(backend: str | None):
         yield
     finally:
         _ACTIVE_BACKEND = previous
+
+
+def current_parallel() -> tuple[int, str] | None:
+    """The ambient ``(workers, decompose)`` override, if any."""
+    if _ACTIVE_PARALLEL is not None:
+        return _ACTIVE_PARALLEL
+    workers = os.environ.get("REPRO_WORKERS")
+    if workers:
+        return int(workers), os.environ.get("REPRO_DECOMPOSE") or "slabs"
+    return None
+
+
+@contextlib.contextmanager
+def use_parallel(workers: int | None, decompose: str = "slabs"):
+    """Scope an ambient parallel engine for :func:`run_algorithm` calls.
+
+    Every joined algorithm is wrapped in a
+    :class:`~repro.parallel.engine.ParallelChunkedJoin` with ``workers``
+    processes over a ``decompose`` (``slabs`` | ``tiles``) cutting.
+    ``workers=None`` (or ``0``) clears the override.  Explicit per-call
+    ``workers=...`` arguments still win.
+    """
+    global _ACTIVE_PARALLEL
+    previous = _ACTIVE_PARALLEL
+    _ACTIVE_PARALLEL = (workers, decompose) if workers else None
+    try:
+        yield
+    finally:
+        _ACTIVE_PARALLEL = previous
 
 
 @dataclass
@@ -144,6 +187,8 @@ def run_algorithm(
     dataset_a: Dataset | Sequence,
     dataset_b: Dataset | Sequence,
     epsilon: float,
+    workers: int | None = None,
+    decompose: str | None = None,
     **algorithm_overrides,
 ) -> RunRecord:
     """Execute one distance join per the paper's methodology.
@@ -153,11 +198,32 @@ def run_algorithm(
     registry factory (e.g. ``fanout=8`` for the fanout sweep).  An
     ambient backend (:func:`use_backend` / ``REPRO_BACKEND``) is applied
     unless the call passes its own ``backend``.
+
+    ``workers`` selects the execution engine: ``None`` defers to the
+    ambient :func:`use_parallel` / ``REPRO_WORKERS`` setting, ``0``
+    forces sequential execution, and ``>= 1`` runs the algorithm through
+    the multiprocess :class:`~repro.parallel.engine.ParallelChunkedJoin`
+    over a ``decompose`` (``slabs`` | ``tiles``) cutting.
     """
     ambient = current_backend()
     if ambient is not None and "backend" not in algorithm_overrides:
         algorithm_overrides = {**algorithm_overrides, "backend": ambient}
-    algorithm = make_algorithm(algorithm_name, **algorithm_overrides)
+    if workers is None:
+        ambient_parallel = current_parallel()
+        if ambient_parallel is not None:
+            workers, ambient_decompose = ambient_parallel
+            decompose = decompose or ambient_decompose
+    if workers:
+        # Imported lazily: repro.parallel pulls in multiprocessing
+        # machinery the sequential harness never needs.
+        from repro.parallel.engine import ParallelChunkedJoin
+
+        spec = AlgorithmSpec.create(algorithm_name, **algorithm_overrides)
+        algorithm = ParallelChunkedJoin(
+            spec, workers=workers, kind=decompose or "slabs"
+        )
+    else:
+        algorithm = make_algorithm(algorithm_name, **algorithm_overrides)
     build = (
         inflate(dataset_a, epsilon)
         if isinstance(dataset_a, Dataset)

@@ -74,6 +74,8 @@ def distance_join(
     algorithm: SpatialJoinAlgorithm | None = None,
     order: JoinOrder = "auto",
     refine: bool = False,
+    workers: int | None = None,
+    decompose: str = "slabs",
 ) -> JoinResult:
     """Find all pairs within distance ``epsilon``.
 
@@ -82,12 +84,22 @@ def distance_join(
     epsilon:
         Distance threshold (the paper evaluates ε ∈ {5, 10}).
     algorithm:
-        Any spatial join; defaults to :class:`~repro.core.touch.TouchJoin`.
+        A live join instance, a registry name (``"TOUCH"``), or an
+        :class:`~repro.joins.registry.AlgorithmSpec`; defaults to
+        :class:`~repro.core.touch.TouchJoin`.  With ``workers`` set only
+        names and specs are accepted (worker processes rebuild the
+        algorithm from the picklable spec).
     order:
         ``"auto"`` applies the smaller-dataset-first heuristic.
     refine:
         When ``True``, candidate pairs are checked against the exact
         geometry (or exact MBR distance when no geometry is attached).
+    workers:
+        When >= 1, execute through the multiprocess
+        :class:`~repro.parallel.engine.ParallelChunkedJoin` — the
+        paper's §3 per-core decomposition — over a ``decompose``
+        (``"slabs"`` | ``"tiles"``) cutting of the universe.  The pair
+        set is identical to sequential execution.
 
     Notes
     -----
@@ -98,10 +110,32 @@ def distance_join(
     """
     if epsilon < 0:
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
-    if algorithm is None:
+    if workers:
+        # Imported lazily: repro.core must not require multiprocessing
+        # machinery for plain sequential joins.
+        from repro.joins.registry import AlgorithmSpec
+        from repro.parallel.engine import ParallelChunkedJoin
+
+        if algorithm is None:
+            algorithm = AlgorithmSpec.create("TOUCH")
+        if not isinstance(algorithm, (str, AlgorithmSpec)):
+            raise TypeError(
+                "workers requires a registry name or AlgorithmSpec (live "
+                f"algorithm instances cannot cross process boundaries), "
+                f"got {type(algorithm).__name__}"
+            )
+        algorithm = ParallelChunkedJoin(algorithm, workers=workers, kind=decompose)
+    elif algorithm is None:
         from repro.core.touch import TouchJoin
 
         algorithm = TouchJoin()
+    else:
+        from repro.joins.registry import AlgorithmSpec, make_algorithm
+
+        if isinstance(algorithm, str):
+            algorithm = make_algorithm(algorithm)
+        elif isinstance(algorithm, AlgorithmSpec):
+            algorithm = algorithm.make()
 
     swap = _resolve_order(objects_a, objects_b, order)
     if swap:

@@ -54,6 +54,7 @@ __all__ = [
     "intersect_pairs",
     "sweep_pairs",
     "overlap_mask",
+    "axes_overlap_mask",
     "boxes_overlap_matrix",
     "concat_ranges",
     "chunk_boundaries",
@@ -297,6 +298,25 @@ def overlap_mask(table: CoordinateTable, lo, hi):
     lo = np.asarray(lo, dtype=np.float64)
     hi = np.asarray(hi, dtype=np.float64)
     return (table.lo <= hi).all(axis=1) & (table.hi >= lo).all(axis=1)
+
+
+def axes_overlap_mask(table: CoordinateTable, axes, lows, highs):
+    """``(N,)`` mask of rows whose interval on each listed axis overlaps.
+
+    The partial-dimensional variant of :func:`overlap_mask`: only the
+    ``axes`` are constrained (closed intervals, same float64 semantics as
+    :meth:`MBR.intersects`), the rest stay free.  This is the membership
+    test of the slab/tile decomposition — a region bounds one or two
+    axes, never all — vectorised so the parallel engine can slice
+    per-region coordinate blocks without a per-object Python loop.
+    """
+    require_numpy()
+    dim = table.dim
+    mask = np.ones(len(table), dtype=bool)
+    for axis, lo, hi in zip(axes, lows, highs):
+        mask &= table.coords[:, axis + dim] >= lo  # row hi >= interval lo
+        mask &= table.coords[:, axis] <= hi  # row lo <= interval hi
+    return mask
 
 
 def boxes_overlap_matrix(lo_rows, hi_rows, boxes_lo, boxes_hi):

@@ -15,6 +15,7 @@ universes (see :mod:`repro.bench.config`):
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.joins.base import SpatialJoinAlgorithm
@@ -28,7 +29,13 @@ from repro.joins.s3 import S3Join
 from repro.joins.seeded_tree import SeededTreeJoin
 from repro.joins.sssj import SSSJJoin
 
-__all__ = ["ALGORITHMS", "BACKEND_AWARE", "make_algorithm", "algorithm_names"]
+__all__ = [
+    "ALGORITHMS",
+    "BACKEND_AWARE",
+    "AlgorithmSpec",
+    "make_algorithm",
+    "algorithm_names",
+]
 
 
 def _touch_factory(**overrides) -> SpatialJoinAlgorithm:
@@ -85,3 +92,32 @@ def make_algorithm(name: str, **overrides) -> SpatialJoinAlgorithm:
     if "backend" in overrides and name not in BACKEND_AWARE:
         overrides = {k: v for k, v in overrides.items() if k != "backend"}
     return factory(**overrides)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A picklable recipe for instantiating a registered algorithm.
+
+    The multiprocess engine cannot ship closures or live algorithm
+    instances to worker processes; it ships one of these instead — just
+    the registry ``name`` plus the keyword ``overrides`` as a sorted
+    tuple of items — and each worker rebuilds its own instance with
+    :meth:`make`.  Override values must themselves be picklable (the
+    registry configurations only use numbers and strings).
+    """
+
+    name: str
+    overrides: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def create(cls, name: str, **overrides) -> "AlgorithmSpec":
+        """Validate the name eagerly and normalise the override order."""
+        if name not in ALGORITHMS:
+            raise KeyError(
+                f"unknown algorithm {name!r}; known: {', '.join(ALGORITHMS)}"
+            )
+        return cls(name, tuple(sorted(overrides.items())))
+
+    def make(self) -> SpatialJoinAlgorithm:
+        """Instantiate the algorithm (same path as :func:`make_algorithm`)."""
+        return make_algorithm(self.name, **dict(self.overrides))

@@ -3,15 +3,12 @@
 §3 of the paper: "the dataset is split into 16K contiguous subsets, each
 subset is loaded in the memory of a core and the distance join is
 performed locally (independent of the other cores and thus massively
-parallel)".  This module reproduces that decomposition on one machine:
-
-- the universe is cut into ``n_chunks`` contiguous slabs along one axis;
-- each slab receives every object whose MBR intersects it (objects that
-  straddle a boundary are seen by several chunks);
-- any registered join algorithm runs *independently* per chunk;
-- cross-chunk duplicate pairs are suppressed with an ownership rule: a
-  pair belongs to the slab containing the reference point of the two
-  MBRs, so the union of chunk results equals the global join exactly.
+parallel)".  This module reproduces that decomposition on one machine,
+sequentially — one region at a time, as if a single core played every
+role.  The decomposition geometry and the boundary-ownership rule live
+in :mod:`repro.parallel.decompose`, shared with the true multiprocess
+engine (:mod:`repro.parallel.engine`), so both produce identical pair
+sets and identical summed counters for the same ``(kind, n_chunks)``.
 
 Per-chunk statistics are merged: counters add up (total work), memory
 takes the per-chunk maximum (each core only ever holds one chunk).
@@ -19,27 +16,17 @@ takes the per-chunk maximum (each core only ever holds one chunk).
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
-from repro.geometry.mbr import MBR, total_mbr
+from repro.geometry.mbr import total_mbr
 from repro.geometry.objects import SpatialObject
 from repro.joins.base import Pair, SpatialJoinAlgorithm
+from repro.joins.registry import AlgorithmSpec
+from repro.parallel.decompose import Decomposition, slab_bounds
 from repro.stats.counters import JoinStatistics
 
 __all__ = ["ChunkedSpatialJoin", "slab_bounds"]
-
-
-def slab_bounds(lo: float, hi: float, n_chunks: int) -> list[tuple[float, float]]:
-    """Split ``[lo, hi]`` into ``n_chunks`` equal contiguous intervals."""
-    if n_chunks < 1:
-        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
-    if hi < lo:
-        raise ValueError(f"invalid interval [{lo}, {hi}]")
-    width = (hi - lo) / n_chunks
-    bounds = [(lo + i * width, lo + (i + 1) * width) for i in range(n_chunks)]
-    # Close the final slab exactly at hi to avoid floating-point gaps.
-    bounds[-1] = (bounds[-1][0], hi)
-    return bounds
 
 
 class ChunkedSpatialJoin(SpatialJoinAlgorithm):
@@ -49,33 +36,43 @@ class ChunkedSpatialJoin(SpatialJoinAlgorithm):
     ----------
     base_factory:
         Zero-argument callable producing a fresh join algorithm per chunk
-        (each "core" gets its own instance, as on the BlueGene/P).
+        (each "core" gets its own instance, as on the BlueGene/P), or an
+        :class:`~repro.joins.registry.AlgorithmSpec`.
     n_chunks:
-        Number of contiguous slabs.
+        Number of contiguous regions.
     axis:
-        Axis along which the universe is sliced.
+        Axis along which the universe is sliced (``kind="slabs"``; for
+        tiles it selects the first of the two partitioned axes).
+    kind:
+        ``"slabs"`` (1-D intervals, the paper's layout) or ``"tiles"``
+        (2-D grid, finer regions at the same chunk count).
     """
 
     name = "Chunked"
 
     def __init__(
         self,
-        base_factory: Callable[[], SpatialJoinAlgorithm],
+        base_factory: Callable[[], SpatialJoinAlgorithm] | AlgorithmSpec,
         n_chunks: int = 4,
         axis: int = 0,
+        kind: str = "slabs",
     ) -> None:
         if n_chunks < 1:
             raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
         if axis < 0:
             raise ValueError(f"axis must be >= 0, got {axis}")
+        if isinstance(base_factory, AlgorithmSpec):
+            base_factory = base_factory.make
         self.base_factory = base_factory
         self.n_chunks = n_chunks
         self.axis = axis
+        self.kind = kind
         sample = base_factory()
-        self.name = f"Chunked[{sample.name}x{n_chunks}]"
+        suffix = "" if kind == "slabs" else f":{kind}"
+        self.name = f"Chunked[{sample.name}x{n_chunks}{suffix}]"
 
     def describe(self) -> dict:
-        return {"n_chunks": self.n_chunks, "axis": self.axis}
+        return {"n_chunks": self.n_chunks, "axis": self.axis, "decompose": self.kind}
 
     def _execute(
         self,
@@ -85,39 +82,43 @@ class ChunkedSpatialJoin(SpatialJoinAlgorithm):
     ) -> list[Pair]:
         if not objects_a or not objects_b:
             return []
-        axis = self.axis
+        start = time.perf_counter()
         universe = total_mbr(o.mbr for o in objects_a).union(
             total_mbr(o.mbr for o in objects_b)
         )
-        if axis >= universe.dim:
-            raise ValueError(f"axis {axis} out of range for {universe.dim}-dimensional data")
+        decomposition = Decomposition.build(
+            universe, kind=self.kind, n_chunks=self.n_chunks, axis=self.axis
+        )
+        chunks = [
+            (region, decomposition.members(region, objects_a),
+             decomposition.members(region, objects_b))
+            for region in decomposition.regions
+        ]
+        decompose_seconds = time.perf_counter() - start
 
-        bounds = slab_bounds(universe.lo[axis], universe.hi[axis], self.n_chunks)
         pairs: list[Pair] = []
         duplicates = 0
-        for index, (slab_lo, slab_hi) in enumerate(bounds):
-            chunk_a = [o for o in objects_a if self._touches(o.mbr, axis, slab_lo, slab_hi)]
-            chunk_b = [o for o in objects_b if self._touches(o.mbr, axis, slab_lo, slab_hi)]
+        worker_seconds = 0.0
+        for region, chunk_a, chunk_b in chunks:
             if not chunk_a or not chunk_b:
                 continue
+            start = time.perf_counter()
             result = self.base_factory().join(chunk_a, chunk_b)
             stats.merge(result.stats)
 
             mbr_a = {o.oid: o.mbr for o in chunk_a}
             mbr_b = {o.oid: o.mbr for o in chunk_b}
-            last = index == len(bounds) - 1
             for oid_a, oid_b in result.pairs:
-                reference = max(mbr_a[oid_a].lo[axis], mbr_b[oid_b].lo[axis])
-                owned = slab_lo <= reference < slab_hi or (last and reference == slab_hi)
-                if owned:
+                if decomposition.owns(region, mbr_a[oid_a], mbr_b[oid_b]):
                     pairs.append((oid_a, oid_b))
                 else:
                     duplicates += 1
+            worker_seconds += time.perf_counter() - start
         stats.duplicates_suppressed += duplicates
         stats.result_pairs = len(pairs)
         stats.extra["n_chunks"] = self.n_chunks
+        stats.extra["decompose"] = decomposition.kind
+        stats.extra["decompose_seconds"] = decompose_seconds
+        stats.extra["worker_join_seconds"] = worker_seconds
+        stats.extra["merge_seconds"] = 0.0
         return pairs
-
-    @staticmethod
-    def _touches(mbr: MBR, axis: int, slab_lo: float, slab_hi: float) -> bool:
-        return mbr.hi[axis] >= slab_lo and mbr.lo[axis] <= slab_hi

@@ -1,0 +1,342 @@
+"""True multiprocess parallel join over the chunked decomposition.
+
+Where :class:`~repro.parallel.chunked.ChunkedSpatialJoin` *simulates* the
+paper's §3 BlueGene/P deployment by joining the contiguous regions one
+after another, :class:`ParallelChunkedJoin` actually ships them to a
+``multiprocessing`` worker pool:
+
+1. **decompose** — the universe is cut by the shared
+   :class:`~repro.parallel.decompose.Decomposition` (slabs or tiles) and
+   each region's members are sliced out of the columnar
+   :class:`~repro.geometry.columnar.CoordinateTable` as contiguous
+   float64 coordinate blocks plus int64 id vectors (no per-object Python
+   lists cross the process boundary; without numpy the engine degrades
+   to compact ``(oid, lo, hi)`` tuples);
+2. **worker_join** — each worker rebuilds its region's objects, runs a
+   fresh algorithm instance from a picklable
+   :class:`~repro.joins.registry.AlgorithmSpec`, and applies the shared
+   reference-point ownership rule locally, so only owned pairs travel
+   back;
+3. **merge** — results are combined in deterministic region order:
+   counters sum, ``memory_bytes`` takes the per-worker maximum, and the
+   three phase wall-clocks land in ``stats.extra``: ``decompose_seconds``,
+   ``worker_join_seconds`` (the wall-clock of the whole fan-out — the
+   pool's critical path including IPC) and ``merge_seconds``, next to
+   the raw in-worker ``per_chunk_seconds`` list and its
+   ``worker_seconds_sum`` (the sequential-equivalent work).
+
+Pair sets and summed counters are bit-identical to the sequential
+engines for the same ``(kind, n_chunks)``; the parity suite
+(``tests/test_parallel_parity.py``) pins that for every registered
+algorithm.
+
+Worker pools are cached per ``(start_method, workers)`` and reused
+across joins (fork start-up is cheap, but spawn is not); call
+:func:`shutdown_pools` to release them explicitly — an ``atexit`` hook
+does so at interpreter shutdown.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import pickle
+import time
+
+from repro.geometry.columnar import HAVE_NUMPY, CoordinateTable, axes_overlap_mask
+from repro.geometry.mbr import MBR, total_mbr
+from repro.geometry.objects import SpatialObject
+from repro.joins.base import Pair, SpatialJoinAlgorithm
+from repro.joins.registry import AlgorithmSpec
+from repro.parallel.decompose import (
+    DECOMPOSE_KINDS,
+    Decomposition,
+    adaptive_chunk_count,
+)
+from repro.stats.counters import JoinStatistics
+
+__all__ = ["ParallelChunkedJoin", "shutdown_pools"]
+
+
+# -- pool management ----------------------------------------------------
+_POOLS: dict[tuple[str, int], multiprocessing.pool.Pool] = {}
+
+
+def _default_start_method() -> str:
+    """Prefer fork (cheap, inherits the interpreter) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+def _get_pool(start_method: str, workers: int) -> multiprocessing.pool.Pool:
+    key = (start_method, workers)
+    pool = _POOLS.get(key)
+    if pool is None:
+        if not _POOLS:
+            # Registered on first use, not at import: merely importing
+            # the engine must stay side-effect free.
+            atexit.register(shutdown_pools)
+        pool = multiprocessing.get_context(start_method).Pool(processes=workers)
+        _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate and forget every cached worker pool."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.terminate()
+        pool.join()
+
+
+# -- chunk slicing ------------------------------------------------------
+class _ColumnarSlicer:
+    """Vectorised region membership over one dataset's coordinate table.
+
+    Builds the table once and answers each region with a broadcast
+    interval test — bit-identical to :meth:`Region.touches` (closed
+    boxes, float64 comparisons) but without the per-object Python loop.
+    Chunk payloads come out as contiguous ``("table", coords, ids)``
+    buffers ready for IPC.
+    """
+
+    def __init__(self, objects: list[SpatialObject]) -> None:
+        self.table = CoordinateTable.from_objects(objects)
+
+    def chunk(self, region):
+        table = self.table
+        mask = axes_overlap_mask(table, region.axes, region.lows, region.highs)
+        if not mask.any():
+            return None
+        return ("table", table.coords[mask], table.ids[mask])
+
+
+class _ObjectSlicer:
+    """Pure-Python fallback used when numpy is unavailable."""
+
+    def __init__(self, objects: list[SpatialObject]) -> None:
+        self.objects = objects
+
+    def chunk(self, region):
+        members = [o for o in self.objects if region.touches(o.mbr)]
+        if not members:
+            return None
+        return ("objects", [(o.oid, o.mbr.lo, o.mbr.hi) for o in members])
+
+
+def _make_slicer(objects: list[SpatialObject]):
+    return _ColumnarSlicer(objects) if HAVE_NUMPY else _ObjectSlicer(objects)
+
+
+# -- worker-side code ---------------------------------------------------
+
+
+def _unpack_chunk(payload) -> list[SpatialObject]:
+    """Rebuild the region's objects inside the worker."""
+    tag = payload[0]
+    if tag == "table":
+        return CoordinateTable(payload[1], payload[2]).to_objects()
+    return [SpatialObject(oid, MBR(lo, hi)) for oid, lo, hi in payload[1]]
+
+
+def _run_chunk(task):
+    """Worker entry point: join one region and dedup locally.
+
+    Returns ``(region_index, owned_pairs, duplicates, stats, seconds)``.
+    Must stay a module-level function so it pickles under every start
+    method.
+    """
+    spec, decomposition, region_index, chunk_a, chunk_b = task
+    start = time.perf_counter()
+    objects_a = _unpack_chunk(chunk_a)
+    objects_b = _unpack_chunk(chunk_b)
+    result = spec.make().join(objects_a, objects_b)
+
+    region = decomposition.regions[region_index]
+    mbr_a = {o.oid: o.mbr for o in objects_a}
+    mbr_b = {o.oid: o.mbr for o in objects_b}
+    owned: list[Pair] = []
+    duplicates = 0
+    for oid_a, oid_b in result.pairs:
+        if decomposition.owns(region, mbr_a[oid_a], mbr_b[oid_b]):
+            owned.append((oid_a, oid_b))
+        else:
+            duplicates += 1
+    return region_index, owned, duplicates, result.stats, time.perf_counter() - start
+
+
+# -- the engine ---------------------------------------------------------
+class ParallelChunkedJoin(SpatialJoinAlgorithm):
+    """Multiprocess execution of any registered join over slabs or tiles.
+
+    Parameters
+    ----------
+    algorithm:
+        An :class:`~repro.joins.registry.AlgorithmSpec`, a registry name
+        (``overrides`` are then forwarded to the factory), or a picklable
+        zero-argument factory (e.g. a top-level class; closures are
+        rejected eagerly).
+    workers:
+        Worker-process count (>= 1).
+    n_chunks:
+        Region count; ``None`` picks it adaptively from the object count
+        and worker count (:func:`~repro.parallel.decompose.adaptive_chunk_count`).
+    kind:
+        ``"slabs"`` (1-D, the paper's layout) or ``"tiles"`` (2-D grid).
+    axis:
+        Slab axis (or first tile axis).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``.
+    """
+
+    name = "Parallel"
+
+    def __init__(
+        self,
+        algorithm: AlgorithmSpec | str,
+        *,
+        workers: int = 2,
+        n_chunks: int | None = None,
+        kind: str = "slabs",
+        axis: int = 0,
+        start_method: str | None = None,
+        **overrides,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if n_chunks is not None and n_chunks < 1:
+            raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+        if axis < 0:
+            raise ValueError(f"axis must be >= 0, got {axis}")
+        if kind not in DECOMPOSE_KINDS:
+            raise ValueError(
+                f"unknown decomposition kind {kind!r}; expected one of "
+                f"{', '.join(DECOMPOSE_KINDS)}"
+            )
+        if isinstance(algorithm, str):
+            algorithm = AlgorithmSpec.create(algorithm, **overrides)
+        elif overrides:
+            raise TypeError("overrides are only accepted with a registry name")
+        if isinstance(algorithm, AlgorithmSpec):
+            base_name = algorithm.name
+        else:
+            try:
+                pickle.dumps(algorithm)
+            except Exception as exc:
+                raise TypeError(
+                    "the base algorithm factory must be picklable to cross "
+                    "process boundaries; pass an AlgorithmSpec or a registry "
+                    f"name instead ({exc})"
+                ) from exc
+            base_name = getattr(algorithm, "__name__", repr(algorithm))
+        self.spec = algorithm
+        self.workers = workers
+        self.n_chunks = n_chunks
+        self.kind = kind
+        self.axis = axis
+        self.start_method = start_method or _default_start_method()
+        chunk_label = "auto" if n_chunks is None else str(n_chunks)
+        suffix = "" if kind == "slabs" else f":{kind}"
+        self.name = f"Parallel[{base_name}x{chunk_label}{suffix}@{workers}w]"
+
+    def describe(self) -> dict:
+        return {
+            "workers": self.workers,
+            "n_chunks": self.n_chunks,
+            "decompose": self.kind,
+            "axis": self.axis,
+            "start_method": self.start_method,
+        }
+
+    def _execute(
+        self,
+        objects_a: list[SpatialObject],
+        objects_b: list[SpatialObject],
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        n_chunks = self.n_chunks or adaptive_chunk_count(
+            len(objects_a) + len(objects_b), self.workers
+        )
+        stats.extra["workers"] = self.workers
+        stats.extra["n_chunks"] = n_chunks
+        stats.extra["decompose"] = self.kind
+        stats.extra["decompose_seconds"] = 0.0
+        stats.extra["worker_join_seconds"] = 0.0
+        stats.extra["merge_seconds"] = 0.0
+        if not objects_a or not objects_b:
+            return []
+
+        # Phase 1: decompose — cut the universe, slice member buffers.
+        start = time.perf_counter()
+        universe = total_mbr(o.mbr for o in objects_a).union(
+            total_mbr(o.mbr for o in objects_b)
+        )
+        decomposition = Decomposition.build(
+            universe, kind=self.kind, n_chunks=n_chunks, axis=self.axis
+        )
+        spec = self._wire_spec()
+        slicer_a = _make_slicer(objects_a)
+        slicer_b = _make_slicer(objects_b)
+        tasks = []
+        for region in decomposition.regions:
+            chunk_a = slicer_a.chunk(region)
+            if chunk_a is None:
+                continue
+            chunk_b = slicer_b.chunk(region)
+            if chunk_b is None:
+                continue
+            tasks.append((spec, decomposition, region.index, chunk_a, chunk_b))
+        stats.extra["decompose_seconds"] = time.perf_counter() - start
+        stats.extra["decompose"] = decomposition.kind
+        if not tasks:
+            return []
+
+        # Phase 2: worker_join — fan the regions out over the pool.
+        start = time.perf_counter()
+        pool = _get_pool(self.start_method, self.workers)
+        outcomes = pool.map(_run_chunk, tasks)
+        worker_join_seconds = time.perf_counter() - start
+
+        # Phase 3: merge — deterministic region order (pool.map preserves
+        # task order): counters sum, memory maxes, pairs concatenate.
+        start = time.perf_counter()
+        pairs: list[Pair] = []
+        duplicates = 0
+        per_chunk: list[float] = []
+        for _index, owned, chunk_duplicates, chunk_stats, seconds in outcomes:
+            pairs.extend(owned)
+            duplicates += chunk_duplicates
+            stats.merge(chunk_stats)
+            per_chunk.append(seconds)
+        stats.duplicates_suppressed += duplicates
+        stats.result_pairs = len(pairs)
+        stats.extra["worker_join_seconds"] = worker_join_seconds
+        stats.extra["worker_seconds_sum"] = sum(per_chunk)
+        stats.extra["per_chunk_seconds"] = per_chunk
+        stats.extra["merge_seconds"] = time.perf_counter() - start
+        return pairs
+
+    def _wire_spec(self):
+        """What travels to the workers: a spec, or a picklable factory
+        wrapped so ``.make()`` exists either way."""
+        if isinstance(self.spec, AlgorithmSpec):
+            return self.spec
+        return _FactorySpec(self.spec)
+
+
+class _FactorySpec:
+    """Adapter giving a plain picklable factory the ``.make()`` protocol."""
+
+    __slots__ = ("factory",)
+
+    def __init__(self, factory) -> None:
+        self.factory = factory
+
+    def __getstate__(self):
+        return self.factory
+
+    def __setstate__(self, state) -> None:
+        self.factory = state
+
+    def make(self) -> SpatialJoinAlgorithm:
+        return self.factory()

@@ -68,10 +68,18 @@ class JoinStatistics:
     def merge(self, other: "JoinStatistics") -> None:
         """Accumulate another statistics object into this one.
 
-        Used by the chunked-parallel executor to combine per-chunk
-        statistics.  Timings add up (sequential-equivalent work) and the
-        memory footprint takes the maximum, matching the peak-resident
-        semantics of the paper's measurement.
+        Used by the chunked and multiprocess engines to combine
+        per-chunk statistics: counters add up (total work is invariant
+        under parallelisation), timings add up (sequential-equivalent
+        work), and the memory footprint takes the maximum, matching the
+        per-core peak-resident semantics of the paper's §3 deployment.
+        ``extra`` is deliberately untouched — engines record their own
+        phase wall-clocks there (``decompose_seconds``,
+        ``worker_join_seconds``, ``merge_seconds``, per-chunk lists)
+        after merging, and ``total_seconds`` is overwritten by
+        :meth:`SpatialJoinAlgorithm.join` with the true end-to-end
+        wall-clock, so parallel speedup shows as ``total_seconds``
+        dropping below the summed phase times.
         """
         self.comparisons += other.comparisons
         self.node_tests += other.node_tests

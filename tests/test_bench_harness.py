@@ -139,9 +139,89 @@ class TestExperiments:
         assert len(counts) == 1  # identical pairs at every chunk count
 
 
+class TestParallelRunner:
+    def test_explicit_workers_selects_parallel_engine(self):
+        dataset_a, dataset_b = synthetic_pair("uniform", 60, 120, SMOKE)
+        sequential = run_algorithm("TOUCH", dataset_a, dataset_b, 5.0)
+        record = run_algorithm("TOUCH", dataset_a, dataset_b, 5.0, workers=2)
+        assert record.algorithm.startswith("Parallel[TOUCH")
+        assert record.extra["workers"] == 2
+        assert record.result_pairs == sequential.result_pairs
+
+    def test_decompose_kind_forwarded(self):
+        dataset_a, dataset_b = synthetic_pair("uniform", 60, 120, SMOKE)
+        record = run_algorithm(
+            "NL", dataset_a, dataset_b, 5.0, workers=2, decompose="tiles"
+        )
+        assert record.extra["decompose"] == "tiles"
+
+    def test_ambient_use_parallel(self):
+        from repro.bench.runner import use_parallel
+
+        dataset_a, dataset_b = synthetic_pair("uniform", 60, 120, SMOKE)
+        with use_parallel(2, "slabs"):
+            ambient = run_algorithm("NL", dataset_a, dataset_b, 5.0)
+            forced_sequential = run_algorithm(
+                "NL", dataset_a, dataset_b, 5.0, workers=0
+            )
+        assert ambient.algorithm.startswith("Parallel[NL")
+        assert forced_sequential.algorithm == "NL"
+        assert ambient.result_pairs == forced_sequential.result_pairs
+
+    def test_env_override(self, monkeypatch):
+        from repro.bench.runner import current_parallel
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_DECOMPOSE", "tiles")
+        assert current_parallel() == (3, "tiles")
+        monkeypatch.delenv("REPRO_DECOMPOSE")
+        assert current_parallel() == (3, "slabs")
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert current_parallel() is None
+
+    def test_parallel_scaling_experiment(self):
+        result = run_experiment("parallel_scaling", SMOKE)
+        engines = {row["engine"] for row in result.rows}
+        assert engines == {"sequential", "parallel"}
+        pair_counts = {row["result_pairs"] for row in result.rows}
+        assert len(pair_counts) == 1  # identical pairs on every engine
+        assert all("speedup" in row for row in result.rows)
+        kinds = {row["decompose"] for row in result.rows if row["engine"] == "parallel"}
+        assert kinds == {"slabs", "tiles"}
+
+    def test_run_experiment_threads_workers(self):
+        result = run_experiment("fig13", SMOKE, workers=1)
+        assert all(
+            row["algorithm"].startswith("Parallel[TOUCH") for row in result.rows
+        )
+
+
 class TestReporting:
     def test_format_table_empty(self):
         assert format_table([]) == "(no rows)"
+
+    def test_phase_timing_columns_surfaced_in_order(self):
+        rows = [
+            {
+                "algorithm": "Parallel[TOUCHx4@2w]",
+                "total_seconds": 0.5,
+                "workers": 2,
+                "n_chunks": 4,
+                "decompose": "slabs",
+                "decompose_seconds": 0.01,
+                "worker_join_seconds": 0.4,
+                "merge_seconds": 0.002,
+            }
+        ]
+        table = format_table(rows)
+        header = table.splitlines()[0]
+        assert "decompose_seconds" in header
+        assert "worker_join_seconds" in header
+        assert "merge_seconds" in header
+        # Stable order: the engine columns follow the default metrics.
+        assert header.index("workers") < header.index("decompose_seconds")
+        assert header.index("decompose_seconds") < header.index("worker_join_seconds")
+        assert header.index("worker_join_seconds") < header.index("merge_seconds")
 
     def test_format_table_columns(self):
         rows = [{"algorithm": "TOUCH", "comparisons": 12, "total_seconds": 0.5}]

@@ -22,6 +22,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "table1", "--scale", "galactic"])
 
+    def test_workers_and_decompose_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig9", "--workers", "4", "--decompose", "tiles"]
+        )
+        assert args.workers == 4
+        assert args.decompose == "tiles"
+        args = build_parser().parse_args(["all", "--workers", "2"])
+        assert args.workers == 2 and args.decompose is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig9", "--decompose", "shards"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -44,3 +55,15 @@ class TestCommands:
     def test_run_fig13(self, capsys):
         assert main(["run", "fig13", "--scale", "smoke"]) == 0
         assert "filter" in capsys.readouterr().out.lower()
+
+    def test_run_with_workers(self, capsys):
+        assert main(["run", "table1", "--scale", "smoke", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Parallel[TOUCH" in out
+        assert "worker_join_seconds" in out
+
+    def test_run_parallel_scaling(self, capsys):
+        assert main(["run", "parallel_scaling", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "sequential" in out

@@ -248,3 +248,32 @@ class TestBatchedAssignmentParity:
             tree, CoordinateTable.from_objects(far), far, stats
         )
         assert assigned == {} and stats.filtered == 1
+
+
+class TestAxesOverlapMask:
+    """Partial-dimensional overlap: the decomposition membership kernel."""
+
+    def test_matches_per_object_touches(self):
+        from repro.geometry.columnar import axes_overlap_mask
+        from repro.parallel.decompose import Decomposition
+
+        objects = list(uniform_boxes(120, seed=77, space=50.0, side_range=(0.0, 6.0)))
+        table = CoordinateTable.from_objects(objects)
+        universe = MBR((0.0, 0.0, 0.0), (50.0, 50.0, 50.0))
+        for kind, n_chunks in (("slabs", 4), ("tiles", 6)):
+            decomposition = Decomposition.build(universe, kind=kind, n_chunks=n_chunks)
+            for region in decomposition.regions:
+                mask = axes_overlap_mask(
+                    table, region.axes, region.lows, region.highs
+                )
+                expected = [region.touches(o.mbr) for o in objects]
+                assert mask.tolist() == expected
+
+    def test_unconstrained_axes_stay_free(self):
+        from repro.geometry.columnar import axes_overlap_mask
+
+        table = CoordinateTable.from_mbrs(
+            [MBR((0.0, 100.0), (1.0, 101.0)), MBR((5.0, -3.0), (6.0, -2.0))]
+        )
+        mask = axes_overlap_mask(table, (0,), (0.0,), (2.0,))
+        assert mask.tolist() == [True, False]  # axis 1 never consulted

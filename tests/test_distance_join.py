@@ -118,3 +118,31 @@ class TestRefinement:
         b = [box_object(0, (2, 0), (3, 1)), box_object(1, (9, 0), (10, 1))]
         kept = refine_pairs([(0, 0), (0, 1)], a, b, epsilon=1.5)
         assert kept == [(0, 0)]
+
+
+class TestParallelDistanceJoin:
+    """The workers= front-end switch onto the multiprocess engine."""
+
+    def test_workers_matches_sequential(self):
+        sequential = distance_join(A, B, 10.0)
+        parallel = distance_join(A, B, 10.0, workers=2)
+        assert parallel.pair_set() == sequential.pair_set()
+        assert parallel.stats.extra["workers"] == 2
+
+    def test_workers_with_registry_name_and_tiles(self):
+        sequential = distance_join(A, B, 10.0, algorithm=NestedLoopJoin())
+        parallel = distance_join(A, B, 10.0, algorithm="NL", workers=2, decompose="tiles")
+        assert parallel.pair_set() == sequential.pair_set()
+        assert parallel.stats.extra["decompose"] == "tiles"
+
+    def test_workers_rejects_live_instances(self):
+        with pytest.raises(TypeError, match="registry name or AlgorithmSpec"):
+            distance_join(A, B, 10.0, algorithm=NestedLoopJoin(), workers=2)
+
+    def test_workers_respects_join_order_swap(self):
+        # B is smaller here, so auto order swaps; pairs must still come
+        # back in (oid_a, oid_b) orientation.
+        small_b = list(B)[:40]
+        sequential = distance_join(A, small_b, 10.0, algorithm=NestedLoopJoin())
+        parallel = distance_join(A, small_b, 10.0, algorithm="NL", workers=2)
+        assert parallel.pair_set() == sequential.pair_set()

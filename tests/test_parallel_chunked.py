@@ -104,3 +104,81 @@ class TestChunkedJoin:
         chunked = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=4)
         assert chunked.join([], B).pairs == []
         assert chunked.join(A, []).pairs == []
+
+    def test_accepts_algorithm_spec(self):
+        from repro.joins.registry import AlgorithmSpec
+
+        chunked = ChunkedSpatialJoin(AlgorithmSpec.create("TOUCH"), n_chunks=3)
+        assert chunked.name == "Chunked[TOUCHx3]"
+        assert_matches_ground_truth(chunked.join(A, B), A, B)
+
+    def test_phase_timings_recorded(self):
+        result = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=4).join(A, B)
+        extra = result.stats.extra
+        assert extra["decompose"] == "slabs"
+        assert extra["decompose_seconds"] >= 0.0
+        assert extra["worker_join_seconds"] >= 0.0
+        assert extra["merge_seconds"] >= 0.0
+
+
+class TestTileChunking:
+    def test_name_marks_tiles(self):
+        join = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=4, kind="tiles")
+        assert join.name == "Chunked[NLx4:tiles]"
+
+    @pytest.mark.parametrize("n_chunks", [1, 2, 4, 6])
+    def test_equals_global_join(self, n_chunks):
+        chunked = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=n_chunks, kind="tiles")
+        assert_matches_ground_truth(chunked.join(A, B), A, B)
+
+    def test_with_touch_base(self):
+        chunked = ChunkedSpatialJoin(
+            lambda: make_algorithm("TOUCH"), n_chunks=4, kind="tiles"
+        )
+        assert_matches_ground_truth(chunked.join(A, B), A, B)
+
+
+class TestBoundaryOwnership:
+    """Regression: reference points exactly on an interior slab edge.
+
+    The rule is shared with :mod:`repro.parallel.decompose`: ownership
+    resolves by binary search over the global edge list, so an interior
+    edge belongs to exactly one (the right-hand) slab — the historical
+    per-slab interval test closed only the final slab.
+    """
+
+    def test_reference_point_on_interior_edge(self):
+        from repro.geometry.objects import box_object
+
+        # Universe [0, 10] (pinned by the A boxes), 2 slabs, edge at 5.0.
+        # Both objects start exactly at the edge: reference == 5.0.
+        a = [
+            box_object(0, (0.0, 0.0), (1.0, 1.0)),  # pins universe lo
+            box_object(1, (5.0, 0.0), (6.0, 1.0)),
+            box_object(2, (9.0, 0.0), (10.0, 1.0)),  # pins universe hi
+        ]
+        b = [box_object(0, (5.0, 0.0), (5.5, 1.0))]
+        result = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=2).join(a, b)
+        assert sorted(result.pairs) == [(1, 0)]
+
+    def test_zero_extent_reference_on_interior_edge(self):
+        from repro.geometry.objects import box_object, point_object
+
+        # A point with zero extent sitting exactly on the slab edge of a
+        # [0, 10] universe cut into 4: seen by both adjacent slabs, owned
+        # by exactly one.
+        a = [box_object(0, (0.0, 0.0), (10.0, 1.0))]
+        b = [point_object(0, (2.5, 0.5)), point_object(1, (7.5, 0.5))]
+        for n_chunks in (2, 4, 8):
+            result = ChunkedSpatialJoin(NestedLoopJoin, n_chunks=n_chunks).join(a, b)
+            assert sorted(result.pairs) == [(0, 0), (0, 1)], n_chunks
+
+    def test_rule_shared_with_decompose_module(self):
+        """Chunked and the decompose primitives agree edge-for-edge."""
+        from repro.geometry.mbr import MBR
+        from repro.parallel.decompose import Decomposition
+
+        universe = MBR((0.0, 0.0), (10.0, 10.0))
+        decomposition = Decomposition.slabs(universe, 4, axis=0)
+        edge = MBR((5.0, 0.0), (5.0, 0.0))
+        assert decomposition.owner_index(edge, edge) == 2  # right-hand slab
