@@ -29,7 +29,7 @@ from repro.datasets.transform import inflate
 from repro.joins.registry import BACKEND_AWARE, make_algorithm
 
 #: Canonical order of the backend-aware algorithms for the smoke run.
-DEFAULT_ALGORITHMS = ("TOUCH", "NL", "PBSM-100")
+DEFAULT_ALGORITHMS = ("TOUCH", "NL", "PBSM-100", "TwoLayer-100")
 
 
 def smoke_one(algorithm: str, dataset_a, dataset_b, epsilon: float) -> dict:

@@ -40,6 +40,7 @@ from repro.joins import (
 )
 from repro.joins.registry import AlgorithmSpec
 from repro.parallel.chunked import ChunkedSpatialJoin
+from repro.partition import TwoLayerJoin
 from repro.stats import JoinStatistics
 
 
@@ -72,6 +73,7 @@ __all__ = [
     "IndexedNestedLoopJoin",
     "RTreeSyncJoin",
     "SeededTreeJoin",
+    "TwoLayerJoin",
     "ALGORITHMS",
     "algorithm_names",
     "make_algorithm",

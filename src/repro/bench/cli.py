@@ -56,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="universe cutting for --workers: contiguous 1-D slabs "
         "(default, the paper's BlueGene/P layout) or a 2-D tile grid",
     )
+    dedup_kwargs = dict(
+        choices=("reference", "partition"),
+        default=None,
+        help="boundary-duplicate policy for --workers: per-pair "
+        "reference-point tests in the workers (default) or the "
+        "duplicate-free two-layer class mini-joins (no dedup pass)",
+    )
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -63,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--backend", **backend_kwargs)
     run.add_argument("--workers", **workers_kwargs)
     run.add_argument("--decompose", **decompose_kwargs)
+    run.add_argument("--dedup", **dedup_kwargs)
     run.add_argument("--json", type=Path, default=None, help="also write rows as JSON")
     run.add_argument(
         "--chart",
@@ -77,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     everything.add_argument("--backend", **backend_kwargs)
     everything.add_argument("--workers", **workers_kwargs)
     everything.add_argument("--decompose", **decompose_kwargs)
+    everything.add_argument("--dedup", **dedup_kwargs)
     everything.add_argument(
         "--out-dir", type=Path, default=None, help="write one JSON per experiment"
     )
@@ -99,9 +108,15 @@ def _cmd_run(
     backend: str | None = None,
     workers: int | None = None,
     decompose: str | None = None,
+    dedup: str | None = None,
 ) -> int:
     result = run_experiment(
-        experiment, scale, backend=backend, workers=workers, decompose=decompose
+        experiment,
+        scale,
+        backend=backend,
+        workers=workers,
+        decompose=decompose,
+        dedup=dedup,
     )
     print_experiment(result)
     if chart_metric is not None:
@@ -127,10 +142,16 @@ def _cmd_all(
     backend: str | None = None,
     workers: int | None = None,
     decompose: str | None = None,
+    dedup: str | None = None,
 ) -> int:
     for name in EXPERIMENTS:
         result = run_experiment(
-            name, scale, backend=backend, workers=workers, decompose=decompose
+            name,
+            scale,
+            backend=backend,
+            workers=workers,
+            decompose=decompose,
+            dedup=dedup,
         )
         print_experiment(result)
         if out_dir is not None:
@@ -152,9 +173,17 @@ def main(argv: list[str] | None = None) -> int:
             args.backend,
             args.workers,
             args.decompose,
+            args.dedup,
         )
     if args.command == "all":
-        return _cmd_all(args.scale, args.out_dir, args.backend, args.workers, args.decompose)
+        return _cmd_all(
+            args.scale,
+            args.out_dir,
+            args.backend,
+            args.workers,
+            args.decompose,
+            args.dedup,
+        )
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -20,6 +20,7 @@ from typing import Callable
 from repro.bench.config import Scale, current_scale
 from repro.bench.runner import (
     RunRecord,
+    current_backend,
     record_from_result,
     run_algorithm,
     use_backend,
@@ -419,6 +420,78 @@ def experiment_ablation_chunked(scale: Scale) -> ExperimentResult:
 
 
 # --------------------------------------------------------------------------
+# Two-layer partition join vs the reference-point baselines
+# --------------------------------------------------------------------------
+#: The duplicate-free join, its grid-overlay twin and the paper's champion.
+TWO_LAYER_ALGORITHMS = ("TwoLayer-500", "PBSM-500", "TOUCH")
+
+
+def experiment_two_layer(scale: Scale) -> ExperimentResult:
+    """TwoLayer vs PBSM-500/TOUCH on the Figures 9–11 workloads.
+
+    For every workload the three algorithms must return the *identical*
+    pair set (asserted — the comparison is worthless otherwise) and the
+    TwoLayer rows must report ``dedup_checks == 0``: the two-layer
+    mini-join matrix is duplicate-free by construction, so not a single
+    reference-point test may execute anywhere in its path.
+
+    Joins run sequentially and in-process on purpose — the assertions
+    need the raw pair sets and the inner algorithms' own counters — so
+    the ambient ``--workers`` / ``--decompose`` / ``--dedup`` engine
+    selection does not apply here (the ambient ``--backend`` does).
+    """
+    out = ExperimentResult(
+        "two_layer",
+        "Two-layer partition join vs PBSM-500/TOUCH (Figs. 9-11 workloads)",
+        notes=(
+            "Tsitsigkos & Mamoulis: per-tile class mini-joins avoid every "
+            "per-pair dedup test of the reference-point method while "
+            "reporting the same pair set; replication matches PBSM at the "
+            "same tile size, comparisons drop with the skipped class "
+            "combinations."
+        ),
+        scale=scale.name,
+    )
+    ambient = current_backend()
+    overrides = {"backend": ambient} if ambient else {}
+    for distribution in LARGE_DISTRIBUTIONS:
+        for n_b in scale.large_b_steps:
+            dataset_a, dataset_b = synthetic_pair(
+                distribution, scale.large_a, n_b, scale
+            )
+            build = inflate(dataset_a, scale.large_epsilon)
+            probe = list(dataset_b)
+            reference_pairs = None
+            for algorithm in TWO_LAYER_ALGORITHMS:
+                result = make_algorithm(algorithm, **overrides).join(build, probe)
+                record = record_from_result(
+                    result,
+                    dataset_a.name,
+                    len(dataset_a),
+                    len(dataset_b),
+                    scale.large_epsilon,
+                )
+                if algorithm.startswith("TwoLayer"):
+                    if result.stats.dedup_checks != 0:
+                        raise AssertionError(
+                            f"{algorithm} on {dataset_a.name}/|B|={n_b} performed "
+                            f"{result.stats.dedup_checks} dedup checks; the "
+                            "two-layer join must perform none"
+                        )
+                if reference_pairs is None:
+                    reference_pairs = result.pair_set()
+                elif result.pair_set() != reference_pairs:
+                    raise AssertionError(
+                        f"{algorithm} on {dataset_a.name}/|B|={n_b} diverges "
+                        f"from {TWO_LAYER_ALGORITHMS[0]}: "
+                        f"{len(reference_pairs - result.pair_set())} missing, "
+                        f"{len(result.pair_set() - reference_pairs)} spurious"
+                    )
+                out.add(record, distribution=distribution)
+    return out
+
+
+# --------------------------------------------------------------------------
 # §3 — speedup vs workers (the BlueGene/P deployment, on multicore)
 # --------------------------------------------------------------------------
 #: Worker counts of the scaling sweep (the Fig-9-style speedup curve).
@@ -494,6 +567,7 @@ EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "ablation_joinorder": experiment_ablation_joinorder,
     "ablation_partitions": experiment_ablation_partitions,
     "ablation_chunked": experiment_ablation_chunked,
+    "two_layer": experiment_two_layer,
     "parallel_scaling": experiment_parallel_scaling,
 }
 
@@ -504,16 +578,18 @@ def run_experiment(
     backend: str | None = None,
     workers: int | None = None,
     decompose: str | None = None,
+    dedup: str | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id at the given (or ambient) scale.
 
     ``backend`` scopes a geometry-backend override over every join of
     the experiment (object-only algorithms ignore it), so the ablation
     scripts and the CLI ``--backend`` flag can sweep backends without
-    touching the experiment definitions.  ``workers`` / ``decompose``
-    likewise scope the multiprocess engine (CLI ``--workers`` /
-    ``--decompose``) over every join; experiments that pick their own
-    engine per run (``parallel_scaling``) are unaffected.
+    touching the experiment definitions.  ``workers`` / ``decompose`` /
+    ``dedup`` likewise scope the multiprocess engine (CLI ``--workers``
+    / ``--decompose`` / ``--dedup``) over every join; experiments that
+    pick their own engine per run (``parallel_scaling``) or compare
+    sequential algorithms pair-for-pair (``two_layer``) are unaffected.
     """
     if not isinstance(scale, Scale):
         scale = current_scale(scale)
@@ -527,7 +603,9 @@ def run_experiment(
         if backend is not None:
             stack.enter_context(use_backend(backend))
         if workers is not None:
-            stack.enter_context(use_parallel(workers, decompose or "slabs"))
+            stack.enter_context(
+                use_parallel(workers, decompose or "slabs", dedup or "reference")
+            )
         # With no override the caller's ambient use_backend()/
         # REPRO_BACKEND/use_parallel() selections stay in effect.
         result = definition(scale)

@@ -31,6 +31,7 @@ PARALLEL_COLUMNS = (
     "workers",
     "n_chunks",
     "decompose",
+    "dedup",
     "decompose_seconds",
     "worker_join_seconds",
     "merge_seconds",
@@ -65,6 +66,7 @@ def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None) -> 
                 "node_tests",
                 "replicated_entries",
                 "duplicates_suppressed",
+                "dedup_checks",
                 "build_seconds",
                 "assign_seconds",
                 "join_seconds",

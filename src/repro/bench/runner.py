@@ -34,11 +34,12 @@ __all__ = [
 _ACTIVE_BACKEND: str | None = None
 
 #: Ambient parallel-execution selection, mirroring the backend override:
-#: ``(workers, decompose_kind)`` or ``None`` for sequential execution.
-#: Set per process with ``REPRO_WORKERS`` / ``REPRO_DECOMPOSE``, or
-#: scoped with :func:`use_parallel` (what the CLI ``--workers`` /
-#: ``--decompose`` flags do).
-_ACTIVE_PARALLEL: tuple[int, str] | None = None
+#: ``(workers, decompose_kind, dedup_mode)`` or ``None`` for sequential
+#: execution.  Set per process with ``REPRO_WORKERS`` /
+#: ``REPRO_DECOMPOSE`` / ``REPRO_DEDUP``, or scoped with
+#: :func:`use_parallel` (what the CLI ``--workers`` / ``--decompose`` /
+#: ``--dedup`` flags do).
+_ACTIVE_PARALLEL: tuple[int, str, str] | None = None
 
 
 def current_backend() -> str | None:
@@ -65,29 +66,36 @@ def use_backend(backend: str | None):
         _ACTIVE_BACKEND = previous
 
 
-def current_parallel() -> tuple[int, str] | None:
-    """The ambient ``(workers, decompose)`` override, if any."""
+def current_parallel() -> tuple[int, str, str] | None:
+    """The ambient ``(workers, decompose, dedup)`` override, if any."""
     if _ACTIVE_PARALLEL is not None:
         return _ACTIVE_PARALLEL
     workers = os.environ.get("REPRO_WORKERS")
     if workers:
-        return int(workers), os.environ.get("REPRO_DECOMPOSE") or "slabs"
+        return (
+            int(workers),
+            os.environ.get("REPRO_DECOMPOSE") or "slabs",
+            os.environ.get("REPRO_DEDUP") or "reference",
+        )
     return None
 
 
 @contextlib.contextmanager
-def use_parallel(workers: int | None, decompose: str = "slabs"):
+def use_parallel(
+    workers: int | None, decompose: str = "slabs", dedup: str = "reference"
+):
     """Scope an ambient parallel engine for :func:`run_algorithm` calls.
 
     Every joined algorithm is wrapped in a
     :class:`~repro.parallel.engine.ParallelChunkedJoin` with ``workers``
-    processes over a ``decompose`` (``slabs`` | ``tiles``) cutting.
+    processes over a ``decompose`` (``slabs`` | ``tiles``) cutting and
+    the given ``dedup`` mode (``reference`` | ``partition``).
     ``workers=None`` (or ``0``) clears the override.  Explicit per-call
     ``workers=...`` arguments still win.
     """
     global _ACTIVE_PARALLEL
     previous = _ACTIVE_PARALLEL
-    _ACTIVE_PARALLEL = (workers, decompose) if workers else None
+    _ACTIVE_PARALLEL = (workers, decompose, dedup) if workers else None
     try:
         yield
     finally:
@@ -109,6 +117,7 @@ class RunRecord:
     filtered: int
     replicated_entries: int
     duplicates_suppressed: int
+    dedup_checks: int
     memory_bytes: int
     build_seconds: float
     assign_seconds: float
@@ -137,6 +146,7 @@ class RunRecord:
             "filtered": self.filtered,
             "replicated_entries": self.replicated_entries,
             "duplicates_suppressed": self.duplicates_suppressed,
+            "dedup_checks": self.dedup_checks,
             "memory_bytes": self.memory_bytes,
             "build_seconds": self.build_seconds,
             "assign_seconds": self.assign_seconds,
@@ -173,6 +183,7 @@ def record_from_result(
         filtered=stats.filtered,
         replicated_entries=stats.replicated_entries,
         duplicates_suppressed=stats.duplicates_suppressed,
+        dedup_checks=stats.dedup_checks,
         memory_bytes=stats.memory_bytes,
         build_seconds=stats.build_seconds,
         assign_seconds=stats.assign_seconds,
@@ -189,6 +200,7 @@ def run_algorithm(
     epsilon: float,
     workers: int | None = None,
     decompose: str | None = None,
+    dedup: str | None = None,
     **algorithm_overrides,
 ) -> RunRecord:
     """Execute one distance join per the paper's methodology.
@@ -203,7 +215,8 @@ def run_algorithm(
     ambient :func:`use_parallel` / ``REPRO_WORKERS`` setting, ``0``
     forces sequential execution, and ``>= 1`` runs the algorithm through
     the multiprocess :class:`~repro.parallel.engine.ParallelChunkedJoin`
-    over a ``decompose`` (``slabs`` | ``tiles``) cutting.
+    over a ``decompose`` (``slabs`` | ``tiles``) cutting with a
+    ``dedup`` (``reference`` | ``partition``) boundary-duplicate policy.
     """
     ambient = current_backend()
     if ambient is not None and "backend" not in algorithm_overrides:
@@ -211,8 +224,9 @@ def run_algorithm(
     if workers is None:
         ambient_parallel = current_parallel()
         if ambient_parallel is not None:
-            workers, ambient_decompose = ambient_parallel
+            workers, ambient_decompose, ambient_dedup = ambient_parallel
             decompose = decompose or ambient_decompose
+            dedup = dedup or ambient_dedup
     if workers:
         # Imported lazily: repro.parallel pulls in multiprocessing
         # machinery the sequential harness never needs.
@@ -220,7 +234,10 @@ def run_algorithm(
 
         spec = AlgorithmSpec.create(algorithm_name, **algorithm_overrides)
         algorithm = ParallelChunkedJoin(
-            spec, workers=workers, kind=decompose or "slabs"
+            spec,
+            workers=workers,
+            kind=decompose or "slabs",
+            dedup=dedup or "reference",
         )
     else:
         algorithm = make_algorithm(algorithm_name, **algorithm_overrides)

@@ -2,4 +2,32 @@
 
 from repro.grid.uniform import UniformGrid
 
-__all__ = ["UniformGrid"]
+__all__ = ["UniformGrid", "resolution_label"]
+
+
+def resolution_label(
+    resolution: int | None,
+    cell_size: float | None,
+    paper_space: float = 1000.0,
+) -> str:
+    """Display suffix of a grid-overlay configuration.
+
+    Explicit resolutions keep their familiar names (``resolution=500``
+    -> ``"500"``).  Cell-size configurations are shown as the equivalent
+    resolution over the paper's universe when that ratio is (within
+    float noise) an integer — ``cell_size=2.0`` -> ``"500"`` — and fall
+    back to the literal cell size otherwise: ``cell_size=3.0`` ->
+    ``"cell3"``, not the misleading ``"333.333"``.
+    """
+    if (resolution is None) == (cell_size is None):
+        raise ValueError("specify exactly one of resolution or cell_size")
+    if resolution is not None:
+        return str(resolution)
+    ratio = paper_space / cell_size
+    # Snap only to meaningful resolutions (cells wider than the paper
+    # universe would round to "0" even though the grid keeps >= 1 cell)
+    # and only within actual float noise: a looser tolerance would
+    # display materially different cell sizes under the canonical name.
+    if round(ratio) >= 1 and abs(ratio - round(ratio)) < 1e-9 * max(1.0, abs(ratio)):
+        return str(round(ratio))
+    return f"cell{cell_size:g}"

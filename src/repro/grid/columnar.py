@@ -29,7 +29,12 @@ try:  # pragma: no cover - mirrored from repro.geometry.columnar
 except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
-__all__ = ["ColumnarGrid", "cell_join_candidates", "grid_join_pairs"]
+__all__ = [
+    "ColumnarGrid",
+    "entry_join_candidates",
+    "cell_join_candidates",
+    "grid_join_pairs",
+]
 
 
 class ColumnarGrid:
@@ -85,12 +90,23 @@ class ColumnarGrid:
 
     # -- coordinate mathematics ---------------------------------------
     def cell_indices(self, points):
-        """Clamped per-dimension cell indices of ``(M, D)`` points."""
+        """Clamped per-dimension cell indices of ``(M, D)`` points.
+
+        Points outside the universe clamp to the nearest edge cell, the
+        same ownership semantics as the object-model
+        :meth:`~repro.grid.uniform.UniformGrid.cell_of_point`.  The
+        clamp happens in float space *before* the integer cast: casting
+        first overflowed int64 for coordinates far beyond a fixed
+        universe (``np.float64 -> int64`` wraps to ``INT64_MIN``), which
+        silently dropped such points into cell 0 instead of the last
+        cell and diverged from the object path.
+        """
         width = self.cell_width
         safe = np.where(width > 0, width, 1.0)
-        raw = np.floor((points - self.lo) / safe).astype(np.int64)
-        raw[:, width <= 0] = 0
-        return np.clip(raw, 0, self.resolution - 1)
+        raw = np.floor((points - self.lo) / safe)
+        raw[:, width <= 0] = 0.0
+        last = (self.resolution - 1).astype(np.float64)
+        return np.clip(raw, 0.0, last).astype(np.int64)
 
     def keys_of(self, indices):
         """Mixed-radix scalar key of ``(M, D)`` per-dimension indices."""
@@ -101,7 +117,7 @@ class ColumnarGrid:
         return self.cell_indices(table.lo), self.cell_indices(table.hi)
 
     # -- bulk multiple assignment --------------------------------------
-    def entries(self, table: CoordinateTable):
+    def entries(self, table: CoordinateTable, with_class_masks: bool = False):
         """Flat ``(object_index, cell_key)`` arrays, one entry per cell a
         box overlaps (PBSM's multiple assignment, vectorised).
 
@@ -109,6 +125,13 @@ class ColumnarGrid:
         trick: every object contributes ``prod(hi - lo + 1)`` entries and
         the within-block flat position is unravelled into per-dimension
         offsets with integer strides — no Python loop over objects.
+
+        With ``with_class_masks=True`` a third array is returned: the
+        two-layer class mask of each entry, bit ``d`` set iff the cell is
+        the one containing the box's low corner along dimension ``d``
+        (i.e. the per-dimension offset is zero).  Mask ``2**dim - 1`` is
+        the home cell (class A); cleared bits mark replicas entering
+        from a lower neighbour (classes B/C/D in 2-D).
         """
         lo_idx, hi_idx = self.index_ranges(table)
         spans = hi_idx - lo_idx + 1
@@ -117,15 +140,22 @@ class ColumnarGrid:
             np.zeros(len(table), dtype=np.int64), per_object
         )
         if len(obj_idx) == 0:
+            if with_class_masks:
+                return obj_idx, flat_pos, flat_pos.copy()
             return obj_idx, flat_pos
         dim = self.dim
         strides = np.ones_like(spans)
         for d in range(dim - 2, -1, -1):
             strides[:, d] = strides[:, d + 1] * spans[:, d + 1]
         keys = np.zeros(len(obj_idx), dtype=np.int64)
+        masks = np.zeros(len(obj_idx), dtype=np.int64) if with_class_masks else None
         for d in range(dim):
             offset = (flat_pos // strides[obj_idx, d]) % spans[obj_idx, d]
             keys += (lo_idx[obj_idx, d] + offset) * self._radix[d]
+            if masks is not None:
+                masks += (offset == 0).astype(np.int64) << d
+        if masks is not None:
+            return obj_idx, keys, masks
         return obj_idx, keys
 
     # -- reference-point deduplication ---------------------------------
@@ -139,6 +169,39 @@ class ColumnarGrid:
         """
         reference = np.maximum(a_lo_rows, b_lo_rows)
         return self.keys_of(self.cell_indices(reference)) == candidate_keys
+
+
+def entry_join_candidates(
+    keys_a,
+    keys_b,
+    chunk: int = DEFAULT_CANDIDATE_CHUNK,
+):
+    """Co-located *entry index* pairs of two flat key arrays, chunked.
+
+    Sorts B's entries by cell key and binary-searches every A entry's
+    key window against them; yields ``(entries_a, entries_b)`` index
+    arrays into the original entry arrays, one element per (A entry,
+    B entry) pair sharing a cell.  Callers look up whatever per-entry
+    payload they carry through these indices:
+    :func:`cell_join_candidates` the object indices, the two-layer join
+    (:mod:`repro.partition.two_layer`) object indices *and* class masks.
+    """
+    require_numpy()
+    if len(keys_a) == 0 or len(keys_b) == 0:
+        return
+    order_b = np.argsort(keys_b, kind="stable")
+    keys_b_sorted = keys_b[order_b]
+    starts = np.searchsorted(keys_b_sorted, keys_a, side="left")
+    ends = np.searchsorted(keys_b_sorted, keys_a, side="right")
+    counts = ends - starts
+    if int(counts.sum()) == 0:
+        return
+    for lo_i, hi_i in chunk_boundaries(counts, chunk):
+        entry_idx, window_pos = concat_ranges(starts[lo_i:hi_i], counts[lo_i:hi_i])
+        if len(entry_idx) == 0:
+            continue
+        entry_idx += lo_i
+        yield entry_idx, order_b[window_pos]
 
 
 def cell_join_candidates(
@@ -156,23 +219,8 @@ def cell_join_candidates(
     in the cell ``key`` — exactly the candidate multiset the object-model
     grid joins test, in bounded-memory chunks.
     """
-    require_numpy()
-    if len(keys_a) == 0 or len(keys_b) == 0:
-        return
-    order_b = np.argsort(keys_b, kind="stable")
-    keys_b_sorted = keys_b[order_b]
-    obj_b_sorted = obj_b[order_b]
-    starts = np.searchsorted(keys_b_sorted, keys_a, side="left")
-    ends = np.searchsorted(keys_b_sorted, keys_a, side="right")
-    counts = ends - starts
-    if int(counts.sum()) == 0:
-        return
-    for lo_i, hi_i in chunk_boundaries(counts, chunk):
-        entry_idx, window_pos = concat_ranges(starts[lo_i:hi_i], counts[lo_i:hi_i])
-        if len(entry_idx) == 0:
-            continue
-        entry_idx += lo_i
-        yield obj_a[entry_idx], obj_b_sorted[window_pos], keys_a[entry_idx]
+    for ent_a, ent_b in entry_join_candidates(keys_a, keys_b, chunk):
+        yield obj_a[ent_a], obj_b[ent_b], keys_a[ent_a]
 
 
 def grid_join_pairs(
@@ -196,6 +244,7 @@ def grid_join_pairs(
     obj_b, keys_b = entries_b
     comparisons = 0
     duplicates = 0
+    dedup_checks = 0
     out_a: list = []
     out_b: list = []
     a_lo, a_hi = table_a.lo, table_a.hi
@@ -209,11 +258,13 @@ def grid_join_pairs(
         )
         hit_a, hit_b, hit_keys = cand_a[hit], cand_b[hit], cand_keys[hit]
         owned = grid.owned_mask(hit_keys, a_lo[hit_a], b_lo[hit_b])
+        dedup_checks += len(hit_a)
         duplicates += len(hit_a) - int(owned.sum())
         out_a.append(hit_a[owned])
         out_b.append(hit_b[owned])
     stats.comparisons += comparisons
     stats.duplicates_suppressed += duplicates
+    stats.dedup_checks += dedup_checks
     empty = np.empty(0, dtype=np.int64)
     if not out_a:
         return empty, empty

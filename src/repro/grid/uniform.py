@@ -82,11 +82,17 @@ class UniformGrid:
 
     # -- coordinate mathematics ---------------------------------------
     def _axis_index(self, d: int, coordinate: float) -> int:
-        """Clamped cell index of ``coordinate`` along dimension ``d``."""
+        """Clamped cell index of ``coordinate`` along dimension ``d``.
+
+        Coordinates outside the universe clamp to the nearest edge cell
+        — floor-then-clamp, the exact semantics of the columnar twin
+        (:meth:`repro.grid.columnar.ColumnarGrid.cell_indices`), so both
+        backends agree on the ownership of out-of-universe objects.
+        """
         size = self.cell_size[d]
         if size == 0.0:
             return 0
-        raw = int((coordinate - self.universe.lo[d]) / size)
+        raw = math.floor((coordinate - self.universe.lo[d]) / size)
         if raw < 0:
             return 0
         last = self.resolution[d] - 1

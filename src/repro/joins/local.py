@@ -176,18 +176,21 @@ def grid_kernel(
 
     comparisons = 0
     duplicates = 0
+    dedup_checks = 0
     for a in objects_a:
         a_mbr = a.mbr
         for coords in grid.cells_overlapping(a_mbr):
             for b in grid.items_in_cell(coords):
                 comparisons += 1
                 if a_mbr.intersects(b.mbr):
+                    dedup_checks += 1
                     if grid.owns_pair(coords, a_mbr, b.mbr):
                         emit(a, b)
                     else:
                         duplicates += 1
     stats.comparisons += comparisons
     stats.duplicates_suppressed += duplicates
+    stats.dedup_checks += dedup_checks
     grid_bytes = grid.memory_bytes()
     extra = stats.extra
     extra["local_grid_bytes"] = extra.get("local_grid_bytes", 0) + grid_bytes

@@ -28,6 +28,7 @@ from repro.geometry.columnar import (
 )
 from repro.geometry.mbr import MBR, total_mbr
 from repro.geometry.objects import SpatialObject
+from repro.grid import resolution_label
 from repro.grid.columnar import ColumnarGrid, grid_join_pairs
 from repro.grid.uniform import UniformGrid
 from repro.joins.base import Pair, SpatialJoinAlgorithm
@@ -56,8 +57,9 @@ class PBSMJoin(SpatialJoinAlgorithm):
         in space units.  The paper's PBSM-500 is ``cell_size = 2.0`` and
         PBSM-100 is ``cell_size = 10.0``; configuring by cell size keeps
         the replication factor (and hence the memory/time behaviour)
-        identical on density-scaled universes.  Exactly one of
-        ``resolution`` / ``cell_size`` may be given.
+        identical on density-scaled universes.  At most one of
+        ``resolution`` / ``cell_size`` may be given; giving neither
+        defaults to the paper's ``resolution = 500``.
     local_kernel:
         Kernel joining the object lists of a cell pair; the paper uses the
         plane sweep (``"sweep"``, default).  The columnar backend joins
@@ -101,10 +103,9 @@ class PBSMJoin(SpatialJoinAlgorithm):
         self.local_kernel = local_kernel
         self.universe = universe
         self.backend = validate_backend(backend)
-        if resolution is not None:
-            self.name = f"PBSM-{resolution}"
-        else:
-            self.name = f"PBSM-{self.PAPER_SPACE / cell_size:g}"
+        self.name = "PBSM-" + resolution_label(
+            resolution, cell_size, self.PAPER_SPACE
+        )
 
     def describe(self) -> dict:
         return {
@@ -176,6 +177,7 @@ class PBSMJoin(SpatialJoinAlgorithm):
 
             def emit(a: SpatialObject, b: SpatialObject) -> None:
                 nonlocal duplicates
+                stats.dedup_checks += 1
                 if grid_a.owns_pair(coords, a.mbr, b.mbr):
                     pairs.append((a.oid, b.oid))
                 else:

@@ -173,6 +173,7 @@ class QuadtreeJoin(SpatialJoinAlgorithm):
 
         def emit(a: SpatialObject, b: SpatialObject) -> None:
             nonlocal duplicates
+            stats.dedup_checks += 1
             key = (a.oid, b.oid)
             if key in seen:
                 duplicates += 1

@@ -9,6 +9,8 @@ universes (see :mod:`repro.bench.config`):
   over the paper's 1000-unit universe);
 - PBSM: cells of 2 units ("PBSM-500" ≡ 500 cells/dim over 1000 units)
   and 10 units ("PBSM-100");
+- TwoLayer: the duplicate-free two-layer partition join at the same two
+  tile sizes as PBSM, for like-for-like comparisons;
 - TOUCH: fanout 2, 1024 partitions; its local-join grid is sized
   relative to the average object, hence already scale-invariant.
 """
@@ -45,6 +47,13 @@ def _touch_factory(**overrides) -> SpatialJoinAlgorithm:
     return TouchJoin(**overrides)
 
 
+def _two_layer_factory(**overrides) -> SpatialJoinAlgorithm:
+    # Imported lazily: repro.partition depends on repro.joins.
+    from repro.partition.two_layer import TwoLayerJoin
+
+    return TwoLayerJoin(**overrides)
+
+
 #: The paper's S3 configuration in scale-invariant form: fanout 3 with 5
 #: levels over 1000 units means the finest grid has 3^4 = 81 cells/dim.
 _S3_FINEST_CELL = 1000.0 / 81.0
@@ -54,6 +63,8 @@ ALGORITHMS: dict[str, Callable[..., SpatialJoinAlgorithm]] = {
     "PS": PlaneSweepJoin,
     "PBSM-500": lambda **kw: PBSMJoin(cell_size=2.0, **kw),
     "PBSM-100": lambda **kw: PBSMJoin(cell_size=10.0, **kw),
+    "TwoLayer-500": lambda **kw: _two_layer_factory(cell_size=2.0, **kw),
+    "TwoLayer-100": lambda **kw: _two_layer_factory(cell_size=10.0, **kw),
     "S3": lambda **kw: S3Join(fanout=3, finest_cell_size=_S3_FINEST_CELL, **kw),
     "INL": lambda **kw: IndexedNestedLoopJoin(fanout=2, **kw),
     "RTree": lambda **kw: RTreeSyncJoin(fanout=2, **kw),
@@ -68,7 +79,9 @@ ALGORITHMS: dict[str, Callable[..., SpatialJoinAlgorithm]] = {
 #: The other approaches only exist in object form (their per-node
 #: traversal does not vectorise naturally); backend sweeps simply run
 #: them unchanged.
-BACKEND_AWARE = frozenset({"NL", "PBSM-500", "PBSM-100", "TOUCH"})
+BACKEND_AWARE = frozenset(
+    {"NL", "PBSM-500", "PBSM-100", "TwoLayer-500", "TwoLayer-100", "TOUCH"}
+)
 
 
 def algorithm_names() -> list[str]:

@@ -143,6 +143,7 @@ class SSSJJoin(SpatialJoinAlgorithm):
                 owner_emit_pairs = pairs
 
                 def spanning_emit(a: SpatialObject, b: SpatialObject, _strip=strip):
+                    stats.dedup_checks += 1
                     first_common = max(_first_of(a), _first_of(b))
                     if first_common == _strip:
                         owner_emit_pairs.append((a.oid, b.oid))

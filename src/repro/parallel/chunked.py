@@ -108,6 +108,7 @@ class ChunkedSpatialJoin(SpatialJoinAlgorithm):
 
             mbr_a = {o.oid: o.mbr for o in chunk_a}
             mbr_b = {o.oid: o.mbr for o in chunk_b}
+            stats.dedup_checks += len(result.pairs)
             for oid_a, oid_b in result.pairs:
                 if decomposition.owns(region, mbr_a[oid_a], mbr_b[oid_b]):
                     pairs.append((oid_a, oid_b))

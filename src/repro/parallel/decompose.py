@@ -318,6 +318,44 @@ class Decomposition:
         """Does ``region`` own the pair under the reference-point rule?"""
         return self.owner_index(mbr_a, mbr_b) == region.index
 
+    # -- the two-layer classification ----------------------------------
+    def covers(self, region: Region, mbr: MBR) -> bool:
+        """Index-range membership used by ``dedup="partition"``.
+
+        The MBR belongs to the regions whose interval index lies within
+        ``[owner_cell(lo), owner_cell(hi)]`` on every partitioned axis —
+        the multiple assignment of the two-layer scheme, resolved on the
+        same shared-edge ruler as pair ownership.  Unlike the closed
+        :meth:`Region.touches` test it excludes objects meeting a region
+        only at its low boundary (their low corner is owned by the next
+        region over); those replicas can never contribute an owned pair,
+        and dropping them is what makes the per-region mini-joins
+        duplicate-free without any per-pair test.
+        """
+        for coordinate, axis in enumerate(self.axes):
+            cell = region.cells[coordinate]
+            if not (
+                self.owner_cell(coordinate, mbr.lo[axis])
+                <= cell
+                <= self.owner_cell(coordinate, mbr.hi[axis])
+            ):
+                return False
+        return True
+
+    def class_mask(self, region: Region, mbr: MBR) -> int:
+        """Two-layer class mask of ``mbr``'s replica in ``region``.
+
+        Bit ``i`` is set iff the region owns the MBR's low corner along
+        partitioned coordinate ``i`` (see :mod:`repro.partition.classes`
+        for the mini-join algebra built on these masks).  Exactly one
+        covering region — the home region — has every bit set.
+        """
+        mask = 0
+        for coordinate, axis in enumerate(self.axes):
+            if self.owner_cell(coordinate, mbr.lo[axis]) == region.cells[coordinate]:
+                mask |= 1 << coordinate
+        return mask
+
     # -- membership ----------------------------------------------------
     def members(self, region: Region, objects):
         """Objects whose MBR touches the region (closed intervals)."""

@@ -16,7 +16,11 @@ after another, :class:`ParallelChunkedJoin` actually ships them to a
    fresh algorithm instance from a picklable
    :class:`~repro.joins.registry.AlgorithmSpec`, and applies the shared
    reference-point ownership rule locally, so only owned pairs travel
-   back;
+   back; with ``dedup="partition"`` the members instead arrive
+   pre-classified under the two-layer corner-ownership scheme
+   (:mod:`repro.partition.classes`) and the worker runs the allowed
+   class-pair mini-joins, whose union is duplicate-free by construction
+   — no in-worker dedup pass at all;
 3. **merge** — results are combined in deterministic region order:
    counters sum, ``memory_bytes`` takes the per-worker maximum, and the
    three phase wall-clocks land in ``stats.extra``: ``decompose_seconds``,
@@ -96,67 +100,148 @@ class _ColumnarSlicer:
     Builds the table once and answers each region with a broadcast
     interval test — bit-identical to :meth:`Region.touches` (closed
     boxes, float64 comparisons) but without the per-object Python loop.
-    Chunk payloads come out as contiguous ``("table", coords, ids)``
-    buffers ready for IPC.
+    Chunk payloads come out as contiguous ``("table", coords, ids,
+    class_masks)`` buffers ready for IPC.
+
+    With ``dedup="partition"`` membership switches to the two-layer
+    index-range rule (:meth:`Decomposition.covers`) and every member is
+    shipped with its class mask, both resolved on the decomposition's
+    shared-edge ruler via one ``searchsorted`` per partitioned axis —
+    bit-identical to :meth:`Decomposition.owner_cell`'s ``bisect_right``.
     """
 
-    def __init__(self, objects: list[SpatialObject]) -> None:
+    def __init__(
+        self,
+        objects: list[SpatialObject],
+        decomposition: Decomposition,
+        dedup: str,
+    ) -> None:
         self.table = CoordinateTable.from_objects(objects)
+        self.dedup = dedup
+        if dedup != "partition":
+            return
+        import numpy as np
+
+        table, dim = self.table, self.table.dim
+        self._owner_lo, self._owner_hi = [], []
+        for coordinate, axis in enumerate(decomposition.axes):
+            edges = np.asarray(decomposition.edges[coordinate], dtype=np.float64)
+            last = len(edges) - 1
+            for source, out in (
+                (table.coords[:, axis], self._owner_lo),
+                (table.coords[:, axis + dim], self._owner_hi),
+            ):
+                owner = np.searchsorted(edges, source, side="right") - 1
+                out.append(np.clip(owner, 0, last))
 
     def chunk(self, region):
         table = self.table
-        mask = axes_overlap_mask(table, region.axes, region.lows, region.highs)
-        if not mask.any():
+        if self.dedup != "partition":
+            mask = axes_overlap_mask(table, region.axes, region.lows, region.highs)
+            if not mask.any():
+                return None
+            return ("table", table.coords[mask], table.ids[mask], None)
+        import numpy as np
+
+        member = np.ones(len(table), dtype=bool)
+        for coordinate, cell in enumerate(region.cells):
+            member &= self._owner_lo[coordinate] <= cell
+            member &= self._owner_hi[coordinate] >= cell
+        if not member.any():
             return None
-        return ("table", table.coords[mask], table.ids[mask])
+        classes = np.zeros(int(member.sum()), dtype=np.int64)
+        for coordinate, cell in enumerate(region.cells):
+            classes += (self._owner_lo[coordinate][member] == cell).astype(
+                np.int64
+            ) << coordinate
+        return ("table", table.coords[member], table.ids[member], classes)
 
 
 class _ObjectSlicer:
     """Pure-Python fallback used when numpy is unavailable."""
 
-    def __init__(self, objects: list[SpatialObject]) -> None:
+    def __init__(
+        self,
+        objects: list[SpatialObject],
+        decomposition: Decomposition,
+        dedup: str,
+    ) -> None:
         self.objects = objects
+        self.decomposition = decomposition
+        self.dedup = dedup
 
     def chunk(self, region):
-        members = [o for o in self.objects if region.touches(o.mbr)]
+        if self.dedup != "partition":
+            members = [o for o in self.objects if region.touches(o.mbr)]
+            if not members:
+                return None
+            return ("objects", [(o.oid, o.mbr.lo, o.mbr.hi) for o in members], None)
+        decomposition = self.decomposition
+        members = [o for o in self.objects if decomposition.covers(region, o.mbr)]
         if not members:
             return None
-        return ("objects", [(o.oid, o.mbr.lo, o.mbr.hi) for o in members])
+        classes = [decomposition.class_mask(region, o.mbr) for o in members]
+        return ("objects", [(o.oid, o.mbr.lo, o.mbr.hi) for o in members], classes)
 
 
-def _make_slicer(objects: list[SpatialObject]):
-    return _ColumnarSlicer(objects) if HAVE_NUMPY else _ObjectSlicer(objects)
+def _make_slicer(objects: list[SpatialObject], decomposition, dedup: str):
+    slicer = _ColumnarSlicer if HAVE_NUMPY else _ObjectSlicer
+    return slicer(objects, decomposition, dedup)
 
 
 # -- worker-side code ---------------------------------------------------
 
 
-def _unpack_chunk(payload) -> list[SpatialObject]:
-    """Rebuild the region's objects inside the worker."""
-    tag = payload[0]
-    if tag == "table":
-        return CoordinateTable(payload[1], payload[2]).to_objects()
-    return [SpatialObject(oid, MBR(lo, hi)) for oid, lo, hi in payload[1]]
+def _unpack_chunk(payload):
+    """Rebuild the region's objects (and class masks) inside the worker."""
+    if payload[0] == "table":
+        _tag, coords, ids, classes = payload
+        objects = CoordinateTable(coords, ids).to_objects()
+        return objects, None if classes is None else classes.tolist()
+    _tag, rows, classes = payload
+    return [SpatialObject(oid, MBR(lo, hi)) for oid, lo, hi in rows], classes
 
 
 def _run_chunk(task):
-    """Worker entry point: join one region and dedup locally.
+    """Worker entry point: join one region, free of cross-region dupes.
 
     Returns ``(region_index, owned_pairs, duplicates, stats, seconds)``.
-    Must stay a module-level function so it pickles under every start
-    method.
+    With ``dedup="reference"`` the region's full join runs first and
+    every result pair is then ownership-tested (the in-worker dedup
+    pass); with ``dedup="partition"`` the members arrive pre-classified
+    and the allowed class-pair mini-joins are executed instead — owned
+    by construction, no per-pair test.  Must stay a module-level
+    function so it pickles under every start method.
     """
-    spec, decomposition, region_index, chunk_a, chunk_b = task
+    spec, decomposition, region_index, chunk_a, chunk_b, dedup = task
     start = time.perf_counter()
-    objects_a = _unpack_chunk(chunk_a)
-    objects_b = _unpack_chunk(chunk_b)
-    result = spec.make().join(objects_a, objects_b)
+    objects_a, classes_a = _unpack_chunk(chunk_a)
+    objects_b, classes_b = _unpack_chunk(chunk_b)
 
+    if dedup == "partition":
+        from repro.partition.classes import group_by_mask, mini_join_masks
+
+        groups_a = group_by_mask(objects_a, classes_a)
+        groups_b = group_by_mask(objects_b, classes_b)
+        stats = JoinStatistics()
+        pairs: list[Pair] = []
+        for mask_a, mask_b in mini_join_masks(len(decomposition.axes)):
+            mini_a = groups_a.get(mask_a)
+            mini_b = groups_b.get(mask_b)
+            if not mini_a or not mini_b:
+                continue
+            result = spec.make().join(mini_a, mini_b)
+            stats.merge(result.stats)
+            pairs.extend(result.pairs)
+        return region_index, pairs, 0, stats, time.perf_counter() - start
+
+    result = spec.make().join(objects_a, objects_b)
     region = decomposition.regions[region_index]
     mbr_a = {o.oid: o.mbr for o in objects_a}
     mbr_b = {o.oid: o.mbr for o in objects_b}
     owned: list[Pair] = []
     duplicates = 0
+    result.stats.dedup_checks += len(result.pairs)
     for oid_a, oid_b in result.pairs:
         if decomposition.owns(region, mbr_a[oid_a], mbr_b[oid_b]):
             owned.append((oid_a, oid_b))
@@ -185,11 +270,24 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         ``"slabs"`` (1-D, the paper's layout) or ``"tiles"`` (2-D grid).
     axis:
         Slab axis (or first tile axis).
+    dedup:
+        How cross-region duplicates are prevented.  ``"reference"``
+        (default): every region receives all touching objects, workers
+        join them and then ownership-test each result pair against the
+        reference-point rule.  ``"partition"``: members are classified
+        by the two-layer corner-ownership scheme at decompose time and
+        workers run only the allowed class-pair mini-joins — the merged
+        result is duplicate-free by construction and the in-worker
+        dedup pass is skipped entirely (``stats.dedup_checks`` gains
+        nothing from the engine; see :mod:`repro.partition.classes`).
     start_method:
         ``multiprocessing`` start method; default prefers ``fork``.
     """
 
     name = "Parallel"
+
+    #: Valid values of the ``dedup`` selector.
+    DEDUP_MODES = ("reference", "partition")
 
     def __init__(
         self,
@@ -199,11 +297,17 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         n_chunks: int | None = None,
         kind: str = "slabs",
         axis: int = 0,
+        dedup: str = "reference",
         start_method: str | None = None,
         **overrides,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if dedup not in self.DEDUP_MODES:
+            raise ValueError(
+                f"unknown dedup mode {dedup!r}; expected one of "
+                f"{', '.join(self.DEDUP_MODES)}"
+            )
         if n_chunks is not None and n_chunks < 1:
             raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
         if axis < 0:
@@ -234,9 +338,12 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         self.n_chunks = n_chunks
         self.kind = kind
         self.axis = axis
+        self.dedup = dedup
         self.start_method = start_method or _default_start_method()
         chunk_label = "auto" if n_chunks is None else str(n_chunks)
         suffix = "" if kind == "slabs" else f":{kind}"
+        if dedup != "reference":
+            suffix += f":{dedup}"
         self.name = f"Parallel[{base_name}x{chunk_label}{suffix}@{workers}w]"
 
     def describe(self) -> dict:
@@ -245,6 +352,7 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
             "n_chunks": self.n_chunks,
             "decompose": self.kind,
             "axis": self.axis,
+            "dedup": self.dedup,
             "start_method": self.start_method,
         }
 
@@ -260,6 +368,7 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         stats.extra["workers"] = self.workers
         stats.extra["n_chunks"] = n_chunks
         stats.extra["decompose"] = self.kind
+        stats.extra["dedup"] = self.dedup
         stats.extra["decompose_seconds"] = 0.0
         stats.extra["worker_join_seconds"] = 0.0
         stats.extra["merge_seconds"] = 0.0
@@ -275,8 +384,8 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
             universe, kind=self.kind, n_chunks=n_chunks, axis=self.axis
         )
         spec = self._wire_spec()
-        slicer_a = _make_slicer(objects_a)
-        slicer_b = _make_slicer(objects_b)
+        slicer_a = _make_slicer(objects_a, decomposition, self.dedup)
+        slicer_b = _make_slicer(objects_b, decomposition, self.dedup)
         tasks = []
         for region in decomposition.regions:
             chunk_a = slicer_a.chunk(region)
@@ -285,7 +394,9 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
             chunk_b = slicer_b.chunk(region)
             if chunk_b is None:
                 continue
-            tasks.append((spec, decomposition, region.index, chunk_a, chunk_b))
+            tasks.append(
+                (spec, decomposition, region.index, chunk_a, chunk_b, self.dedup)
+            )
         stats.extra["decompose_seconds"] = time.perf_counter() - start
         stats.extra["decompose"] = decomposition.kind
         if not tasks:

@@ -1,0 +1,308 @@
+"""Two-layer space-oriented partitioning join: duplicate-free by design.
+
+The modern alternative to PBSM's reference-point machinery (Tsitsigkos
+& Mamoulis, "Parallel In-Memory Evaluation of Spatial Joins", 2019;
+Tsitsigkos et al., "Two-layer Space-oriented Partitioning for Non-point
+Data", 2023).  Layer one overlays the universe with a uniform tile grid
+and multiple-assigns both datasets, but classifies every replica by
+which corner of its home tile it owns (the class masks of
+:mod:`repro.partition.classes`).  Layer two joins each tile with the
+reduced *mini-join matrix* — only class combinations whose begin
+corners pin the pair to the current tile are compared — so the union of
+all mini-joins contains every intersecting pair exactly once and **no
+per-pair ownership test is ever executed** (``stats.dedup_checks`` is
+asserted 0 by the bench harness and the test suite).
+
+Two execution backends, mirroring PBSM:
+
+- ``object`` — per-tile class buckets of
+  :class:`~repro.geometry.objects.SpatialObject`, each allowed class
+  pair joined with a local kernel from :mod:`repro.joins.local`
+  (plane sweep by default);
+- ``columnar`` — flat ``(object, tile-key, class-mask)`` entry arrays
+  from :meth:`ColumnarGrid.entries(..., with_class_masks=True)
+  <repro.grid.columnar.ColumnarGrid.entries>`, tile-merged by key sort
+  + binary search and mask-filtered before one batched intersection
+  test per chunk (:class:`~repro.geometry.columnar.CoordinateTable`
+  kernels).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.geometry.columnar import (
+    CoordinateTable,
+    require_numpy,
+    resolve_backend,
+    validate_backend,
+)
+from repro.geometry.mbr import MBR, total_mbr
+from repro.geometry.objects import SpatialObject
+from repro.grid import UniformGrid, resolution_label
+from repro.grid.columnar import ColumnarGrid, entry_join_candidates
+from repro.joins.base import Pair, SpatialJoinAlgorithm
+from repro.joins.local import LOCAL_KERNELS
+from repro.partition.classes import full_mask, mini_join_masks
+from repro.stats import memory as memmodel
+from repro.stats.counters import JoinStatistics
+
+try:  # pragma: no cover - optional dependency of the columnar path
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+__all__ = ["TwoLayerJoin"]
+
+
+class TwoLayerJoin(SpatialJoinAlgorithm):
+    """Tile overlay + per-tile class lists + duplicate-free mini-joins.
+
+    Parameters
+    ----------
+    resolution:
+        Number of tiles per dimension.
+    cell_size:
+        Alternative, scale-invariant configuration: the tile edge length
+        in space units (``TwoLayer-500`` is ``cell_size = 2.0`` over the
+        paper's 1000-unit universe, like PBSM).  At most one of
+        ``resolution`` / ``cell_size`` may be given; giving neither
+        defaults to ``resolution = 100`` — two-layer tiles are normally
+        coarser than PBSM cells because the mini-joins, not the tile
+        granularity, bound the comparison count.
+    local_kernel:
+        Object-backend kernel joining two class lists of a tile:
+        ``"sweep"`` (default, as in the source papers) or ``"nested"``.
+        The ``"grid"`` kernel is rejected — it deduplicates internally
+        with reference-point tests, which would break this algorithm's
+        defining ``dedup_checks == 0`` guarantee.  The columnar backend
+        always batch-tests the mask-filtered candidates (nested
+        comparison semantics); the pair set is identical either way.
+    universe:
+        Optional fixed universe; defaults to the union of both datasets'
+        extents.  Objects outside a fixed universe clamp into the edge
+        tiles on both backends.
+    backend:
+        ``"auto"`` (columnar when numpy is importable), ``"object"`` or
+        ``"columnar"``.
+    """
+
+    name = "TwoLayer"
+
+    #: The paper universe edge used for familiar display names
+    #: (cell 2.0 -> "TwoLayer-500"), shared with PBSM.
+    PAPER_SPACE = 1000.0
+
+    def __init__(
+        self,
+        resolution: int | None = None,
+        cell_size: float | None = None,
+        local_kernel: str = "sweep",
+        universe: MBR | None = None,
+        backend: str = "auto",
+    ) -> None:
+        if resolution is None and cell_size is None:
+            resolution = 100
+        if resolution is not None and cell_size is not None:
+            raise ValueError("specify at most one of resolution and cell_size")
+        if resolution is not None and resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {resolution}")
+        if cell_size is not None and cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        if local_kernel not in LOCAL_KERNELS:
+            raise ValueError(f"unknown local kernel {local_kernel!r}")
+        if local_kernel == "grid":
+            raise ValueError(
+                "the grid kernel deduplicates with per-pair reference-point "
+                "tests; the two-layer join exists to perform none — use "
+                "'sweep' or 'nested'"
+            )
+        self.resolution = resolution
+        self.cell_size = cell_size
+        self.local_kernel = local_kernel
+        self.universe = universe
+        self.backend = validate_backend(backend)
+        self.name = "TwoLayer-" + resolution_label(
+            resolution, cell_size, self.PAPER_SPACE
+        )
+
+    def describe(self) -> dict:
+        return {
+            "resolution": self.resolution,
+            "cell_size": self.cell_size,
+            "local_kernel": self.local_kernel,
+            "backend": self.backend,
+        }
+
+    def _execute(
+        self,
+        objects_a: list[SpatialObject],
+        objects_b: list[SpatialObject],
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        if not objects_a or not objects_b:
+            return []
+        universe = self.universe
+        if universe is None:
+            universe = total_mbr(o.mbr for o in objects_a).union(
+                total_mbr(o.mbr for o in objects_b)
+            )
+        backend = resolve_backend(self.backend)
+        stats.extra["backend"] = backend
+        if backend == "columnar":
+            return self._execute_columnar(objects_a, objects_b, universe, stats)
+        return self._execute_object(objects_a, objects_b, universe, stats)
+
+    # -- object backend -------------------------------------------------
+    def _execute_object(
+        self,
+        objects_a: list[SpatialObject],
+        objects_b: list[SpatialObject],
+        universe: MBR,
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        build_start = time.perf_counter()
+        if self.resolution is not None:
+            grid = UniformGrid(universe, resolution=self.resolution)
+        else:
+            grid = UniformGrid(universe, cell_size=self.cell_size)
+        dim = universe.dim
+        n_classes = 1 << dim
+        # tile coords -> (per-class A lists, per-class B lists)
+        tiles: dict[tuple[int, ...], tuple[list, list]] = {}
+        entries_a = self._assign(grid, objects_a, tiles, side=0, n_classes=n_classes)
+        entries_b = self._assign(grid, objects_b, tiles, side=1, n_classes=n_classes)
+        stats.build_seconds = time.perf_counter() - build_start
+        stats.replicated_entries = (entries_a - len(objects_a)) + (
+            entries_b - len(objects_b)
+        )
+
+        kernel = LOCAL_KERNELS[self.local_kernel]
+        matrix = mini_join_masks(dim)
+        pairs: list[Pair] = []
+
+        def emit(a: SpatialObject, b: SpatialObject) -> None:
+            pairs.append((a.oid, b.oid))
+
+        join_start = time.perf_counter()
+        for groups_a, groups_b in tiles.values():
+            for mask_a, mask_b in matrix:
+                tile_a = groups_a[mask_a]
+                tile_b = groups_b[mask_b]
+                if tile_a and tile_b:
+                    kernel(tile_a, tile_b, stats, emit)
+        stats.join_seconds = time.perf_counter() - join_start
+        stats.memory_bytes = memmodel.grid_cells_bytes(
+            len(tiles), entries_a + entries_b
+        )
+        return pairs
+
+    @staticmethod
+    def _assign(
+        grid: UniformGrid,
+        objects: list[SpatialObject],
+        tiles: dict,
+        side: int,
+        n_classes: int,
+    ) -> int:
+        """Multiple-assign one dataset into per-tile class buckets.
+
+        Returns the number of (object, tile) entries stored.  The class
+        mask of an entry sets bit ``d`` iff the tile's index equals the
+        low end of the object's clamped index range along ``d`` — the
+        tile owns the MBR's low corner on that axis.
+        """
+        entries = 0
+        for obj in objects:
+            ranges = grid.index_ranges(obj.mbr)
+            for coords in itertools.product(
+                *(range(lo, hi + 1) for lo, hi in ranges)
+            ):
+                mask = 0
+                for d, (lo, _hi) in enumerate(ranges):
+                    if coords[d] == lo:
+                        mask |= 1 << d
+                bucket = tiles.get(coords)
+                if bucket is None:
+                    bucket = (
+                        [[] for _ in range(n_classes)],
+                        [[] for _ in range(n_classes)],
+                    )
+                    tiles[coords] = bucket
+                bucket[side][mask].append(obj)
+                entries += 1
+        return entries
+
+    # -- columnar backend -----------------------------------------------
+    def _execute_columnar(
+        self,
+        objects_a: list[SpatialObject],
+        objects_b: list[SpatialObject],
+        universe: MBR,
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        """Batched two-layer join over flat classified entry arrays."""
+        require_numpy()
+        build_start = time.perf_counter()
+        table_a = CoordinateTable.from_objects(objects_a)
+        table_b = CoordinateTable.from_objects(objects_b)
+        if self.resolution is not None:
+            grid = ColumnarGrid(universe.lo, universe.hi, resolution=self.resolution)
+        else:
+            grid = ColumnarGrid(universe.lo, universe.hi, cell_size=self.cell_size)
+        a_obj, a_keys, a_masks = grid.entries(table_a, with_class_masks=True)
+        b_obj, b_keys, b_masks = grid.entries(table_b, with_class_masks=True)
+        stats.build_seconds = time.perf_counter() - build_start
+        stats.replicated_entries = (len(a_obj) - len(objects_a)) + (
+            len(b_obj) - len(objects_b)
+        )
+        # Like columnar PBSM, every surviving co-located candidate is
+        # batch-tested (nested comparison semantics per tile).
+        stats.extra["cell_join"] = "batch"
+
+        join_start = time.perf_counter()
+        full = full_mask(grid.dim)
+        comparisons = 0
+        out_a: list = []
+        out_b: list = []
+        a_lo, a_hi = table_a.lo, table_a.hi
+        b_lo, b_hi = table_b.lo, table_b.hi
+        for ent_a, ent_b in entry_join_candidates(a_keys, b_keys):
+            # Layer two: the mini-join matrix as one vectorised mask
+            # test — only pairs whose classes jointly own the tile's
+            # begin corner on every axis are intersection-tested.
+            allowed = (a_masks[ent_a] | b_masks[ent_b]) == full
+            ent_a, ent_b = ent_a[allowed], ent_b[allowed]
+            comparisons += len(ent_a)
+            cand_a, cand_b = a_obj[ent_a], b_obj[ent_b]
+            hit = (
+                (a_lo[cand_a] <= b_hi[cand_b]) & (b_lo[cand_b] <= a_hi[cand_a])
+            ).all(axis=1)
+            out_a.append(cand_a[hit])
+            out_b.append(cand_b[hit])
+        stats.comparisons += comparisons
+        if out_a:
+            idx_a = np.concatenate(out_a)
+            idx_b = np.concatenate(out_b)
+            pairs: list[Pair] = list(
+                zip(table_a.ids[idx_a].tolist(), table_b.ids[idx_b].tolist())
+            )
+        else:
+            pairs = []
+        stats.join_seconds = time.perf_counter() - join_start
+
+        table_bytes = table_a.nbytes + table_b.nbytes
+        mask_bytes = int(a_masks.nbytes + b_masks.nbytes)
+        stats.extra["columnar_table_bytes"] = table_bytes
+        stats.memory_bytes = (
+            memmodel.grid_cells_bytes(
+                len(np.unique(np.concatenate((a_keys, b_keys))))
+                if len(a_keys) + len(b_keys)
+                else 0,
+                len(a_obj) + len(b_obj),
+            )
+            + table_bytes
+            + mask_bytes
+        )
+        return pairs

@@ -32,6 +32,13 @@ class JoinStatistics:
     duplicates_suppressed:
         Candidate pairs discarded by deduplication (reference-point method
         in PBSM and in grid local joins).
+    dedup_checks:
+        Per-pair ownership tests performed to suppress duplicates from
+        multiple assignment (reference-point tests in PBSM cells and grid
+        local joins, region-ownership tests in the chunked/parallel
+        engines, result-set membership probes in the quadtree join).
+        The two-layer partition join is duplicate-free by construction
+        and keeps this at exactly 0.
     filtered:
         Objects of the probe dataset eliminated before any object-object
         comparison (TOUCH / S3 filtering; Figures 13 and 14a).
@@ -56,6 +63,7 @@ class JoinStatistics:
     node_tests: int = 0
     result_pairs: int = 0
     duplicates_suppressed: int = 0
+    dedup_checks: int = 0
     filtered: int = 0
     replicated_entries: int = 0
     memory_bytes: int = 0
@@ -85,6 +93,7 @@ class JoinStatistics:
         self.node_tests += other.node_tests
         self.result_pairs += other.result_pairs
         self.duplicates_suppressed += other.duplicates_suppressed
+        self.dedup_checks += other.dedup_checks
         self.filtered += other.filtered
         self.replicated_entries += other.replicated_entries
         self.memory_bytes = max(self.memory_bytes, other.memory_bytes)
@@ -100,6 +109,7 @@ class JoinStatistics:
             "node_tests": self.node_tests,
             "result_pairs": self.result_pairs,
             "duplicates_suppressed": self.duplicates_suppressed,
+            "dedup_checks": self.dedup_checks,
             "filtered": self.filtered,
             "replicated_entries": self.replicated_entries,
             "memory_bytes": self.memory_bytes,

@@ -173,9 +173,12 @@ class TestParallelRunner:
 
         monkeypatch.setenv("REPRO_WORKERS", "3")
         monkeypatch.setenv("REPRO_DECOMPOSE", "tiles")
-        assert current_parallel() == (3, "tiles")
+        assert current_parallel() == (3, "tiles", "reference")
+        monkeypatch.setenv("REPRO_DEDUP", "partition")
+        assert current_parallel() == (3, "tiles", "partition")
+        monkeypatch.delenv("REPRO_DEDUP")
         monkeypatch.delenv("REPRO_DECOMPOSE")
-        assert current_parallel() == (3, "slabs")
+        assert current_parallel() == (3, "slabs", "reference")
         monkeypatch.delenv("REPRO_WORKERS")
         assert current_parallel() is None
 

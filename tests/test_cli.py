@@ -33,6 +33,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig9", "--decompose", "shards"])
 
+    def test_dedup_flag(self):
+        args = build_parser().parse_args(
+            ["run", "fig9", "--workers", "2", "--dedup", "partition"]
+        )
+        assert args.dedup == "partition"
+        args = build_parser().parse_args(["all", "--workers", "2"])
+        assert args.dedup is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig9", "--dedup", "hope"])
+
 
 class TestCommands:
     def test_list(self, capsys):

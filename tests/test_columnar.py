@@ -193,6 +193,38 @@ class TestColumnarGridParity:
         points = np.array([[-3.0, 4.9], [11.0, 10.0]])
         assert grid.cell_indices(points).tolist() == [[0, 2], [4, 4]]
 
+    def test_cell_indices_far_outside_fixed_universe(self):
+        # Regression: the float->int64 cast used to run *before* the
+        # clamp, so coordinates far beyond a fixed universe overflowed
+        # to INT64_MIN and landed in cell 0 instead of the last cell.
+        universe = MBR((0.0, 0.0), (10.0, 10.0))
+        object_grid = UniformGrid(universe, resolution=5)
+        grid = ColumnarGrid(np.zeros(2), np.full(2, 10.0), resolution=5)
+        points = [(1e300, 3.0), (-1e300, 3.0), (1e19, 1e19), (5.0, 1e25)]
+        columnar = grid.cell_indices(np.array(points))
+        for point, cells in zip(points, columnar):
+            assert tuple(cells) == object_grid.cell_of_point(point)
+        assert columnar[0].tolist() == [4, 1]
+
+    @given(
+        _boxes(2, max_n=16),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_out_of_universe_indices_match_object_path(self, boxes, resolution):
+        # The strategy's boxes live in [-6, 10]^2; a deliberately small
+        # fixed universe makes many of them straddle or fall outside it.
+        universe = MBR((-2.0, -1.0), (3.0, 4.0))
+        object_grid = UniformGrid(universe, resolution=resolution)
+        grid = ColumnarGrid(
+            np.array(universe.lo), np.array(universe.hi), resolution=resolution
+        )
+        table = _table(boxes)
+        lo_idx, hi_idx = grid.index_ranges(table)
+        for i, box in enumerate(boxes):
+            expected = object_grid.index_ranges(box)
+            assert tuple(lo_idx[i]) == tuple(lo for lo, _ in expected)
+            assert tuple(hi_idx[i]) == tuple(hi for _, hi in expected)
+
     def test_config_validation(self):
         with pytest.raises(ValueError, match="exactly one"):
             ColumnarGrid(np.zeros(2), np.ones(2))

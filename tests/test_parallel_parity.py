@@ -3,20 +3,26 @@
 The contract pinned here, for every registered algorithm:
 
 - **pair parity** — sequential, chunked (slabs and tiles) and the
-  multiprocess engine at 1/2/4 workers return identical *sorted pair
-  sets* on uniform, gaussian (skewed) and clustered data;
-- **counter parity** — for the same ``(kind, n_chunks)`` decomposition
-  the multiprocess engine reports exactly the summed comparison
-  counters of the sequential chunked simulation, independent of the
-  worker count (parallelism may change wall-clock, never work);
+  multiprocess engine at 1/2/4 workers, under both boundary-duplicate
+  policies (``dedup="reference"`` and the duplicate-free two-layer
+  ``dedup="partition"``), return identical *sorted pair sets* on
+  uniform, gaussian (skewed) and clustered data;
+- **counter parity** — for the same ``(kind, n_chunks, dedup)``
+  configuration the multiprocess engine reports exactly the same summed
+  comparison counters independent of the worker count (parallelism may
+  change wall-clock, never work); ``dedup="reference"`` additionally
+  matches the sequential chunked simulation;
 - **degenerate inputs** — empty sides, every object inside one slab,
   objects spanning every slab boundary, and zero-extent MBRs sitting
   exactly on slab edges neither lose nor duplicate pairs.
 
 The whole module is marked ``parallel`` so CI can run it standalone
-(``pytest -m parallel``) on every supported Python version.
+(``pytest -m parallel``) on every supported Python version; the
+``REPRO_PARITY_DEDUP`` environment variable restricts the engine runs
+to one dedup policy so the CI matrix can split them across legs.
 """
 
+import os
 import random
 
 import pytest
@@ -33,6 +39,19 @@ pytestmark = pytest.mark.parallel
 N_CHUNKS = 4
 WORKER_STEPS = (1, 2, 4)
 KINDS = ("slabs", "tiles")
+
+#: Engine dedup policies under test; REPRO_PARITY_DEDUP=<mode> narrows
+#: the sweep to one of them (the CI matrix runs one leg per mode).  An
+#: unknown value fails loudly — silently emptying the sweep would turn
+#: the whole suite into a vacuous pass with zero engine coverage.
+_DEDUP_ENV = os.environ.get("REPRO_PARITY_DEDUP")
+if _DEDUP_ENV not in (None, "", "reference", "partition"):
+    raise ValueError(
+        f"REPRO_PARITY_DEDUP={_DEDUP_ENV!r}: expected 'reference' or 'partition'"
+    )
+DEDUP_MODES = tuple(
+    mode for mode in ("reference", "partition") if _DEDUP_ENV in (None, "", mode)
+)
 
 #: Dense small workloads: every distribution the satellite asks for.
 DATASETS = {
@@ -52,30 +71,44 @@ DATASETS = {
 
 
 def engine_results(name: str, objects_a, objects_b, backend: str | None = None):
-    """Run one algorithm through every engine; yield labelled results."""
+    """Run one algorithm through every engine; yield labelled results.
+
+    The counter key groups runs whose summed work must be identical:
+    chunked and the reference-dedup parallel engine share one key per
+    decomposition kind, the partition-dedup engine (whose mini-join
+    structure legitimately performs different work) gets its own.
+    """
     overrides = {"backend": backend} if backend else {}
     spec = AlgorithmSpec.create(name, **overrides)
     yield "sequential", None, spec.make().join(objects_a, objects_b)
     for kind in KINDS:
-        chunked = ChunkedSpatialJoin(spec, n_chunks=N_CHUNKS, kind=kind)
-        yield f"chunked:{kind}", kind, chunked.join(objects_a, objects_b)
-        for workers in WORKER_STEPS:
-            parallel = ParallelChunkedJoin(
-                spec, workers=workers, n_chunks=N_CHUNKS, kind=kind
-            )
+        if "reference" in DEDUP_MODES:
+            chunked = ChunkedSpatialJoin(spec, n_chunks=N_CHUNKS, kind=kind)
             yield (
-                f"parallel:{kind}:{workers}w",
-                kind,
-                parallel.join(objects_a, objects_b),
+                f"chunked:{kind}",
+                f"{kind}:reference",
+                chunked.join(objects_a, objects_b),
             )
+        for workers in WORKER_STEPS:
+            for dedup in DEDUP_MODES:
+                parallel = ParallelChunkedJoin(
+                    spec, workers=workers, n_chunks=N_CHUNKS, kind=kind, dedup=dedup
+                )
+                yield (
+                    f"parallel:{kind}:{workers}w:{dedup}",
+                    f"{kind}:{dedup}",
+                    parallel.join(objects_a, objects_b),
+                )
 
 
 def assert_engine_parity(name: str, objects_a, objects_b, backend=None):
-    """Pair parity vs sequential; counter parity within a decomposition."""
+    """Pair parity vs sequential; counter parity within a configuration."""
     objects_a, objects_b = list(objects_a), list(objects_b)
     reference_pairs = None
-    comparisons_by_kind: dict[str, int] = {}
-    for label, kind, result in engine_results(name, objects_a, objects_b, backend):
+    comparisons_by_key: dict[str, int] = {}
+    for label, counter_key, result in engine_results(
+        name, objects_a, objects_b, backend
+    ):
         if reference_pairs is None:
             reference_pairs = result.sorted_pairs()
             assert sorted(brute_force_pairs(objects_a, objects_b)) == reference_pairs
@@ -83,10 +116,12 @@ def assert_engine_parity(name: str, objects_a, objects_b, backend=None):
         assert result.sorted_pairs() == reference_pairs, (
             f"{name} via {label}: pair set diverges from sequential"
         )
-        expected = comparisons_by_kind.setdefault(kind, result.stats.comparisons)
+        expected = comparisons_by_key.setdefault(
+            counter_key, result.stats.comparisons
+        )
         assert result.stats.comparisons == expected, (
             f"{name} via {label}: summed comparisons {result.stats.comparisons} "
-            f"!= {expected} of the first {kind} engine"
+            f"!= {expected} of the first {counter_key} engine"
         )
 
 

@@ -28,6 +28,22 @@ class TestConfiguration:
         assert PBSMJoin(cell_size=2.0).name == "PBSM-500"
         assert PBSMJoin(cell_size=10.0).name == "PBSM-100"
 
+    def test_non_integer_cell_ratio_falls_back_to_cell_name(self):
+        # 1000 / 3 = 333.333...: the old display name was the misleading
+        # "PBSM-333.333"; now the literal cell size is shown instead.
+        assert PBSMJoin(cell_size=3.0).name == "PBSM-cell3"
+        assert PBSMJoin(cell_size=0.75).name == "PBSM-cell0.75"
+        # Cells wider than the paper universe must not snap to "PBSM-0".
+        assert PBSMJoin(cell_size=1e10).name == "PBSM-cell1e+10"
+
+    def test_default_configuration_is_the_papers_500(self):
+        # The documented contract: at most one of resolution/cell_size;
+        # neither means the paper's resolution=500 default.
+        joiner = PBSMJoin()
+        assert joiner.resolution == 500
+        assert joiner.cell_size is None
+        assert joiner.name == "PBSM-500"
+
     def test_resolution_and_cell_size_exclusive(self):
         with pytest.raises(ValueError, match="at most one"):
             PBSMJoin(resolution=10, cell_size=1.0)

@@ -6,7 +6,7 @@ theorems: every algorithm returns exactly the ground-truth pair set
 (Theorem 1 + Lemma 3), plus structural invariants of the substrates.
 """
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.assignment import assign_dataset_b
@@ -79,12 +79,23 @@ class TestMBRProperties:
 
     @given(mbr_strategy(), mbr_strategy())
     def test_epsilon_reduction_linf(self, a, b):
-        """a.expand(eps) hits b  iff  per-axis gap <= eps (L-inf)."""
+        """a.expand(eps) hits b  iff  per-axis gap <= eps (L-inf).
+
+        The equivalence only holds up to float rounding: ``expand``
+        computes ``lo - eps`` while the gap computes ``lo - hi``, and
+        when the true gap sits within half an ulp of eps the two
+        roundings can disagree (hypothesis found ``a.lo = 1.5``,
+        ``b.hi = -9.3e-17`` with ``eps = 1.5``).  Razor-edge gaps are
+        therefore excluded; everything farther than 1e-9 from eps —
+        orders of magnitude above rounding error at these magnitudes —
+        must match exactly.
+        """
         gaps = [
             max(alo - bhi, blo - ahi, 0.0)
             for alo, ahi, blo, bhi in zip(a.lo, a.hi, b.lo, b.hi)
         ]
         eps = 1.5
+        assume(all(abs(gap - eps) > 1e-9 for gap in gaps))
         assert a.expand(eps).intersects(b) == (max(gaps) <= eps)
 
 
