@@ -1,0 +1,281 @@
+"""Benchmark-trajectory runner: record the perf curve, gate regressions.
+
+Runs the medium Figure-9 (uniform) and Figure-11 (clustered) workloads
+for the headline algorithms plus the ``repeated_probe`` build-once/
+probe-many workload, and writes a flat ``BENCH_PR<N>.json`` artifact at
+the repo root — the committed point of this PR's performance trajectory.
+Row schema (stable across PRs, so points are comparable)::
+
+    {"algorithm": ..., "backend": ..., "workload": ..., "seconds": ..., "pairs": ...}
+
+When an earlier ``BENCH_*.json`` point exists, matching rows are
+compared and any slowdown beyond ``--threshold`` (default 25%) is
+reported as a **warning** — CI hardware varies, so timing never hard-
+fails unless ``--strict`` is given.  Pair-count mismatches against the
+previous point are warned about loudly too: same workload, same scale,
+different pairs means a correctness change, not noise.
+
+Usage::
+
+    python benchmarks/trajectory.py --out BENCH_PR5.json
+    python benchmarks/trajectory.py --scale smoke --quick   # CI-less dry run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.config import SCALES
+from repro.bench.runner import run_algorithm
+from repro.bench.workloads import synthetic_pair
+from repro.service.driver import run_serve_workload
+
+#: The headline algorithms whose trajectory we track: the paper's
+#: champion, the duplicate-free two-layer join, and the strongest
+#: replicating baseline.
+TRAJECTORY_ALGORITHMS = ("TOUCH", "TwoLayer-500", "PBSM-500")
+
+#: (figure, distribution) pairs of the tracked one-shot workloads.
+TRAJECTORY_FIGURES = (("fig9", "uniform"), ("fig11", "clustered"))
+
+#: Queries issued against the cached index in the serve workload (the
+#: acceptance workload probes 100 times).
+SERVE_PROBES = 100
+
+#: The serve workload must beat rebuild-per-query by this factor on the
+#: medium workload; below it the script warns (or fails with --strict).
+MIN_SERVE_SPEEDUP = 5.0
+
+
+def run_figures(scale, backend: str | None) -> list[dict]:
+    """One-shot joins: one row per (figure, algorithm) at one |B| step."""
+    rows = []
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    for figure, distribution in TRAJECTORY_FIGURES:
+        dataset_a, dataset_b = synthetic_pair(
+            distribution, scale.large_a, n_b, scale
+        )
+        workload = f"{figure}/{distribution}/a{scale.large_a}-b{n_b}/eps{scale.large_epsilon:g}"
+        for algorithm in TRAJECTORY_ALGORITHMS:
+            overrides = {"backend": backend} if backend else {}
+            start = time.perf_counter()
+            record = run_algorithm(
+                algorithm, dataset_a, dataset_b, scale.large_epsilon, **overrides
+            )
+            wall = time.perf_counter() - start
+            rows.append(
+                {
+                    "algorithm": record.algorithm,
+                    "backend": record.extra.get("backend", backend or "auto"),
+                    "workload": workload,
+                    "seconds": wall,
+                    "pairs": record.result_pairs,
+                }
+            )
+            print(
+                f"  {record.algorithm:14s} {workload:42s} "
+                f"{wall:8.3f}s  pairs={record.result_pairs}"
+            )
+    return rows
+
+
+def run_repeated_probe(scale, backend: str | None) -> tuple[list[dict], list[str]]:
+    """The serve workload: cached-index and rebuild-per-query rows."""
+    rows: list[dict] = []
+    warnings: list[str] = []
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    dataset_a, dataset_b = synthetic_pair("uniform", scale.large_a, n_b, scale)
+    overrides = {"backend": backend} if backend else {}
+    for algorithm in ("TOUCH", "TwoLayer-500"):
+        summary = run_serve_workload(
+            dataset_a,
+            dataset_b,
+            scale.large_epsilon,
+            algorithm=algorithm,
+            probes=SERVE_PROBES,
+            compare_rebuild=True,  # hard-asserts pair parity per batch
+            **overrides,
+        )
+        workload = (
+            f"repeated_probe/uniform/a{scale.large_a}-b{n_b}"
+            f"/eps{scale.large_epsilon:g}/q{summary['probes']}"
+        )
+        resolved = backend or "auto"
+        rows.append(
+            {
+                "algorithm": summary["algorithm"],
+                "backend": resolved,
+                "workload": f"{workload}/cached",
+                "seconds": summary["serve_seconds"],
+                "pairs": summary["result_pairs"],
+            }
+        )
+        rows.append(
+            {
+                "algorithm": summary["algorithm"],
+                "backend": resolved,
+                "workload": f"{workload}/rebuild",
+                "seconds": summary["rebuild_seconds"],
+                "pairs": summary["rebuild_pairs"],
+            }
+        )
+        print(
+            f"  {summary['algorithm']:14s} {workload:42s} cached "
+            f"{summary['serve_seconds']:.3f}s vs rebuild "
+            f"{summary['rebuild_seconds']:.3f}s -> {summary['speedup']:.1f}x "
+            "(parity asserted)"
+        )
+        if scale.name != "smoke" and summary["speedup"] < MIN_SERVE_SPEEDUP:
+            warnings.append(
+                f"{summary['algorithm']} serve speedup {summary['speedup']:.1f}x "
+                f"is below the {MIN_SERVE_SPEEDUP:g}x build-once/probe-many target"
+            )
+    return rows, warnings
+
+
+def previous_point(
+    root: Path, out: Path, current_pr: int | None
+) -> "tuple[str, dict] | None":
+    """The latest committed ``BENCH_PR<N>.json`` from a *previous* PR.
+
+    With ``current_pr`` known, only strictly lower-numbered points
+    qualify — this PR's own committed point must never serve as its
+    baseline (it was recorded on different hardware, so comparing a
+    fresh run against it would gate on machine deltas, not code).
+    """
+    candidates = []
+    for path in root.glob("BENCH_*.json"):
+        if path.resolve() == out.resolve():
+            continue
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if match is None:
+            continue
+        order = int(match.group(1))
+        if current_pr is not None and order >= current_pr:
+            continue
+        candidates.append((order, path))
+    if not candidates:
+        return None
+    _, path = max(candidates)
+    try:
+        return path.name, json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"WARNING: could not read previous point {path.name}: {error}")
+        return None
+
+
+def compare_points(rows: list[dict], previous: dict, threshold: float) -> list[str]:
+    """Warnings for rows slower than (or disagreeing with) the last point."""
+    warnings = []
+    old_rows = {
+        (row["algorithm"], row["backend"], row["workload"]): row
+        for row in previous.get("rows", [])
+    }
+    for row in rows:
+        old = old_rows.get((row["algorithm"], row["backend"], row["workload"]))
+        if old is None:
+            continue
+        if row["pairs"] != old["pairs"]:
+            warnings.append(
+                f"{row['algorithm']} {row['workload']}: pairs changed "
+                f"{old['pairs']} -> {row['pairs']} — same workload, different "
+                "result; investigate before trusting any timing"
+            )
+        if old["seconds"] > 0:
+            slowdown = row["seconds"] / old["seconds"] - 1.0
+            if slowdown > threshold:
+                warnings.append(
+                    f"{row['algorithm']} {row['workload']}: {slowdown:+.0%} "
+                    f"({old['seconds']:.3f}s -> {row['seconds']:.3f}s) exceeds "
+                    f"the {threshold:.0%} regression threshold"
+                )
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
+    parser.add_argument("--backend", default=None, help="geometry backend override")
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_PR5.json"), help="trajectory point to write"
+    )
+    parser.add_argument(
+        "--compare-root",
+        type=Path,
+        default=None,
+        help="directory holding previous BENCH_*.json points (default: --out's directory)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional slowdown vs the previous point that triggers a warning",
+    )
+    parser.add_argument(
+        "--pr",
+        type=int,
+        default=None,
+        help="this point's PR number (default: parsed from --out); only "
+        "strictly older BENCH_PR<N>.json points are used as the baseline",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the repeated_probe serve workload (fast smoke of the runner)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any regression warning instead of warning only",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    print(f"benchmark trajectory @ scale={scale.name}")
+    rows = run_figures(scale, args.backend)
+    warnings: list[str] = []
+    if not args.quick:
+        probe_rows, probe_warnings = run_repeated_probe(scale, args.backend)
+        rows.extend(probe_rows)
+        warnings.extend(probe_warnings)
+
+    point = {
+        "schema": "bench-trajectory/v1",
+        "scale": scale.name,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+    }
+    current_pr = args.pr
+    if current_pr is None:
+        match = re.match(r"BENCH_PR(\d+)", args.out.name)
+        current_pr = int(match.group(1)) if match else None
+    root = args.compare_root or args.out.parent
+    previous = previous_point(root, args.out, current_pr)
+    if previous is not None:
+        name, data = previous
+        print(f"comparing against previous trajectory point {name}")
+        warnings.extend(compare_points(rows, data, args.threshold))
+    else:
+        print("no previous-PR BENCH_PR<N>.json point found; recording a first one")
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(point, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    if warnings and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

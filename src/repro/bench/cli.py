@@ -20,6 +20,7 @@ from repro.bench.config import DEFAULT_SCALE, SCALES
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import print_experiment, save_json
 from repro.geometry.columnar import BACKENDS
+from repro.joins.registry import algorithm_names
 from repro.parallel.decompose import DECOMPOSE_KINDS
 
 __all__ = ["main", "build_parser"]
@@ -89,6 +90,50 @@ def build_parser() -> argparse.ArgumentParser:
     everything.add_argument(
         "--out-dir", type=Path, default=None, help="write one JSON per experiment"
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the build-once/probe-many query service on a "
+        "repeated-query workload",
+    )
+    serve.add_argument("--scale", choices=sorted(SCALES), default=None)
+    serve.add_argument(
+        "--algorithm",
+        default="TOUCH",
+        choices=algorithm_names(),
+        help="join algorithm whose index the service builds and probes",
+    )
+    serve.add_argument(
+        "--distribution",
+        choices=("uniform", "gaussian", "clustered"),
+        default="uniform",
+        help="synthetic workload distribution (Figure 9/10/11 data)",
+    )
+    serve.add_argument(
+        "--probes",
+        type=int,
+        default=100,
+        metavar="N",
+        help="number of query batches issued against the cached index",
+    )
+    serve.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="M",
+        help="objects per query batch (default: |B| / probes)",
+    )
+    serve.add_argument(
+        "--epsilon", type=float, default=None, help="distance threshold (default: scale's eps)"
+    )
+    serve.add_argument("--backend", **backend_kwargs)
+    serve.add_argument(
+        "--compare-rebuild",
+        action="store_true",
+        help="also join every batch with rebuild-per-query one-shot "
+        "instances, hard-assert pair parity and report the speedup",
+    )
+    serve.add_argument("--json", type=Path, default=None, help="also write the summary as JSON")
     return parser
 
 
@@ -159,11 +204,73 @@ def _cmd_all(
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run a repeated-query workload through the query service."""
+    import json
+
+    from repro.bench.config import current_scale
+    from repro.bench.workloads import synthetic_pair
+    from repro.service.driver import run_serve_workload
+
+    scale = current_scale(args.scale)
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    dataset_a, dataset_b = synthetic_pair(
+        args.distribution, scale.large_a, n_b, scale
+    )
+    epsilon = args.epsilon if args.epsilon is not None else scale.large_epsilon
+    overrides = {"backend": args.backend} if args.backend else {}
+    summary = run_serve_workload(
+        dataset_a,
+        dataset_b,
+        epsilon,
+        algorithm=args.algorithm,
+        probes=args.probes,
+        batch=args.batch,
+        compare_rebuild=args.compare_rebuild,
+        **overrides,
+    )
+    print(
+        f"== query service: {summary['algorithm']} on {args.distribution} "
+        f"(scale={scale.name}, eps={epsilon}) =="
+    )
+    print(
+        f"   indexed {summary['n_build']} objects once "
+        f"({summary['build_seconds']:.4f}s), served {summary['probes']} "
+        f"query batches of {summary['batch']} ({summary['warm_queries']} warm)"
+    )
+    per_query = summary["serve_seconds"] / summary["probes"]
+    print(
+        f"   {summary['result_pairs']} pairs in {summary['serve_seconds']:.4f}s "
+        f"({per_query * 1000:.2f} ms/query, "
+        f"{summary['probes'] / summary['serve_seconds']:.0f} queries/s)"
+        if summary["serve_seconds"] > 0
+        else f"   {summary['result_pairs']} pairs (too fast to time)"
+    )
+    if args.compare_rebuild:
+        print(
+            f"   rebuild-per-query: {summary['rebuild_seconds']:.4f}s -> "
+            f"speedup {summary['speedup']:.1f}x (pair parity asserted on "
+            "every batch)"
+        )
+    stats = summary["service_stats"]
+    print(
+        f"   cache: {stats['warm_hits']} hits, {stats['cold_builds']} builds, "
+        f"{stats['evictions']} evictions, {stats['cached_indexes']} resident"
+    )
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(summary, indent=2, default=str))
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "run":
         return _cmd_run(
             args.experiment,

@@ -42,11 +42,47 @@ _ACTIVE_BACKEND: str | None = None
 _ACTIVE_PARALLEL: tuple[int, str, str] | None = None
 
 
+def _env_choice(name: str, choices: tuple[str, ...]) -> str | None:
+    """Read an enumerated environment variable, or fail naming it.
+
+    Junk values used to propagate deep into the engines before blowing
+    up with a context-free traceback; every ambient ``REPRO_*`` read now
+    validates here and raises a :class:`ValueError` that names the
+    variable and the accepted values.
+    """
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    if raw not in choices:
+        raise ValueError(
+            f"invalid {name}={raw!r}: expected one of {', '.join(choices)}"
+        )
+    return raw
+
+
+def _env_int(name: str, minimum: int = 0) -> int | None:
+    """Read an integer environment variable, or fail naming it."""
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {name}={raw!r}: expected an integer"
+        ) from None
+    if value < minimum:
+        raise ValueError(f"invalid {name}={raw!r}: must be >= {minimum}")
+    return value
+
+
 def current_backend() -> str | None:
     """The ambient backend override, if any."""
     if _ACTIVE_BACKEND is not None:
         return _ACTIVE_BACKEND
-    return os.environ.get("REPRO_BACKEND") or None
+    from repro.geometry.columnar import BACKENDS
+
+    return _env_choice("REPRO_BACKEND", tuple(BACKENDS))
 
 
 @contextlib.contextmanager
@@ -70,12 +106,14 @@ def current_parallel() -> tuple[int, str, str] | None:
     """The ambient ``(workers, decompose, dedup)`` override, if any."""
     if _ACTIVE_PARALLEL is not None:
         return _ACTIVE_PARALLEL
-    workers = os.environ.get("REPRO_WORKERS")
+    workers = _env_int("REPRO_WORKERS", minimum=0)
     if workers:
+        from repro.parallel.decompose import DECOMPOSE_KINDS
+
         return (
-            int(workers),
-            os.environ.get("REPRO_DECOMPOSE") or "slabs",
-            os.environ.get("REPRO_DEDUP") or "reference",
+            workers,
+            _env_choice("REPRO_DECOMPOSE", tuple(DECOMPOSE_KINDS)) or "slabs",
+            _env_choice("REPRO_DEDUP", ("reference", "partition")) or "reference",
         )
     return None
 
@@ -201,6 +239,7 @@ def run_algorithm(
     workers: int | None = None,
     decompose: str | None = None,
     dedup: str | None = None,
+    reuse_index: "bool | object" = False,
     **algorithm_overrides,
 ) -> RunRecord:
     """Execute one distance join per the paper's methodology.
@@ -217,10 +256,51 @@ def run_algorithm(
     the multiprocess :class:`~repro.parallel.engine.ParallelChunkedJoin`
     over a ``decompose`` (``slabs`` | ``tiles``) cutting with a
     ``dedup`` (``reference`` | ``partition``) boundary-duplicate policy.
+
+    ``reuse_index`` routes the join through the build-once/probe-many
+    query service instead: pass ``True`` for the process-wide
+    :func:`repro.service.default_service` or a live
+    :class:`~repro.service.SpatialQueryService`.  Repeated calls with
+    the same (dataset A, algorithm, config, backend, ε) probe a cached
+    index (``extra["cache"]`` reports ``"warm"`` / ``"cold"``); the
+    multiprocess engine cannot be combined with it.
     """
     ambient = current_backend()
     if ambient is not None and "backend" not in algorithm_overrides:
         algorithm_overrides = {**algorithm_overrides, "backend": ambient}
+    if reuse_index:
+        if workers:
+            raise ValueError(
+                "reuse_index joins run through the in-process query service "
+                "and cannot be combined with the multiprocess engine "
+                f"(workers={workers})"
+            )
+        # Imported lazily, like the parallel engine below.
+        from repro.service import SpatialQueryService, default_service
+
+        service = (
+            reuse_index
+            if isinstance(reuse_index, SpatialQueryService)
+            else default_service()
+        )
+        result = service.query(
+            list(dataset_a),
+            list(dataset_b),
+            epsilon,
+            algorithm=algorithm_name,
+            **algorithm_overrides,
+        )
+        dataset_name = (
+            dataset_a.name if isinstance(dataset_a, Dataset) else "adhoc"
+        )
+        record = record_from_result(
+            result, dataset_name, len(dataset_a), len(dataset_b), epsilon
+        )
+        record.extra["cache"] = result.parameters.get("cache", "")
+        record.extra["index_build_seconds"] = result.parameters.get(
+            "build_seconds", 0.0
+        )
+        return record
     if workers is None:
         ambient_parallel = current_parallel()
         if ambient_parallel is not None:

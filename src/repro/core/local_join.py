@@ -34,7 +34,11 @@ try:  # pragma: no cover - optional dependency of the columnar path
 except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
-__all__ = ["join_assigned_nodes", "join_assigned_nodes_columnar"]
+__all__ = [
+    "join_assigned_nodes",
+    "join_assigned_nodes_columnar",
+    "probe_assigned_nodes_columnar",
+]
 
 
 def join_assigned_nodes(
@@ -144,6 +148,72 @@ def join_assigned_nodes_columnar(
             oid_a = ids_a[a_rows[hit_a]]
             oid_b = ids_b[np.asarray(b_rows)[hit_b]]
             pairs.extend(zip(oid_a.tolist(), oid_b.tolist()))
+    return pairs
+
+
+def probe_assigned_nodes_columnar(
+    table_a: CoordinateTable,
+    leaf_slices: "dict[TouchNode, tuple[int, int]]",
+    table_b: CoordinateTable,
+    assigned: "dict[TouchNode, object]",
+    stats: JoinStatistics,
+) -> list[Pair]:
+    """Probe-shaped phase 3: continue the assignment descent to the leaves.
+
+    The one-shot local join re-partitions the whole A subtree under each
+    assigned node with a fresh grid — the right shape when all of B is
+    joined at once, but O(|A|) per call, which would erase the point of
+    build-once/probe-many for small query batches.  Here the hierarchy
+    itself serves as the probe index: the B rows assigned to a node
+    descend *every* overlapping child (a batched range descent, not the
+    single-path assignment walk) and are batch-intersection-tested
+    against the contiguous A slices of the leaves they reach.  Leaves
+    partition A, so the result is duplicate-free without any ownership
+    tests; the pair set equals the one-shot join's (both report exactly
+    the intersecting pairs under each assigned node) while the work per
+    batch is proportional to the branches the queries actually touch.
+    """
+    require_numpy()
+    pairs: list[Pair] = []
+    ids_a, ids_b = table_a.ids, table_b.ids
+    lo_b, hi_b = table_b.lo, table_b.hi
+    comparisons = 0
+    node_tests = 0
+    for node, b_rows in assigned.items():
+        stack = [(node, np.asarray(b_rows))]
+        while stack:
+            current, rows = stack.pop()
+            if len(rows) == 0:
+                continue
+            if current.is_leaf:
+                start, stop = leaf_slices[current]
+                if stop == start:
+                    continue
+                comparisons += (stop - start) * len(rows)
+                hit = np.nonzero(
+                    (table_a.lo[start:stop, None, :] <= hi_b[rows][None, :, :]).all(
+                        axis=2
+                    )
+                    & (table_a.hi[start:stop, None, :] >= lo_b[rows][None, :, :]).all(
+                        axis=2
+                    )
+                )
+                if len(hit[0]):
+                    oid_a = ids_a[start + hit[0]]
+                    oid_b = ids_b[rows[hit[1]]]
+                    pairs.extend(zip(oid_a.tolist(), oid_b.tolist()))
+                continue
+            children = current.children
+            child_lo = np.array([c.mbr.lo for c in children])
+            child_hi = np.array([c.mbr.hi for c in children])
+            overlap = (lo_b[rows][:, None, :] <= child_hi[None, :, :]).all(axis=2) & (
+                hi_b[rows][:, None, :] >= child_lo[None, :, :]
+            ).all(axis=2)
+            node_tests += len(rows) * len(children)
+            for index, child in enumerate(children):
+                stack.append((child, rows[overlap[:, index]]))
+    stats.comparisons += comparisons
+    stats.node_tests += node_tests
     return pairs
 
 

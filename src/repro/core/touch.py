@@ -37,11 +37,12 @@ from __future__ import annotations
 
 import time
 
-from repro.core.assignment import assign_dataset_b, assign_table_b
+from repro.core.assignment import assign_dataset_b, assign_table_b, locate_node
 from repro.core.local_join import (
     join_assigned_nodes,
     join_assigned_nodes_columnar,
     leaf_order_table,
+    probe_assigned_nodes_columnar,
 )
 from repro.core.tree import DEFAULT_FANOUT, DEFAULT_PARTITIONS, TouchTree
 from repro.geometry.columnar import (
@@ -157,6 +158,128 @@ class TouchJoin(SpatialJoinAlgorithm):
         stats.extra["tree_nodes"] = tree.node_count()
         self.last_tree = tree
         return pairs
+
+    # -- build/probe lifecycle -----------------------------------------
+    def _build(self, objects_a, stats):
+        """Phase 1 once: the hierarchy over A, reused by every probe.
+
+        The columnar leaf-order table is precomputed alongside the tree
+        so warm probes skip straight to assignment + local joins.
+        """
+        if self.local_kernel not in LOCAL_KERNELS:
+            raise ValueError(f"unknown local kernel {self.local_kernel!r}")
+        if not objects_a:
+            return None
+        backend = resolve_backend(self.backend)
+        tree = TouchTree(
+            objects_a,
+            fanout=self.fanout,
+            num_partitions=self.num_partitions,
+            leaf_capacity=self.leaf_capacity,
+        )
+        payload = {"tree": tree, "backend": backend}
+        if backend == "columnar":
+            table_a, leaf_slices = leaf_order_table(tree)
+            payload["table_a"] = table_a
+            payload["leaf_slices"] = leaf_slices
+        self.last_tree = tree
+        return payload
+
+    def _probe(self, payload, objects_b, stats):
+        """Phase-2 walk + range continuation, never mutating the tree.
+
+        Each probe object is *assigned* exactly as in phase 2
+        (:func:`~repro.core.assignment.locate_node` — dead-space
+        filtering included), then descends every overlapping branch of
+        its assigned subtree down to the leaves, whose A objects it is
+        intersection-tested against.  Leaves partition A, so the result
+        is duplicate-free without ownership tests, and the pair set
+        equals the one-shot join's; re-partitioning the whole A subtree
+        with a per-call grid (the one-shot local join, O(|A|) per call)
+        is exactly what the prepared lifecycle avoids.
+        """
+        if payload is None or not objects_b:
+            return []
+        if payload["backend"] == "columnar":
+            return self._probe_table(
+                payload, CoordinateTable.from_objects(objects_b), stats
+            )
+        tree = payload["tree"]
+        stats.extra["backend"] = "object"
+
+        assign_start = time.perf_counter()
+        assignments: dict = {}
+        filtered = 0
+        root = tree.root
+        for obj in objects_b:
+            node = locate_node(root, obj.mbr, stats)
+            if node is None:
+                filtered += 1
+            else:
+                assignments.setdefault(node, []).append(obj)
+        stats.filtered += filtered
+        stats.assign_seconds = time.perf_counter() - assign_start
+
+        join_start = time.perf_counter()
+        pairs: list[Pair] = []
+        comparisons = 0
+        node_tests = 0
+        for node, assigned_objects in assignments.items():
+            for obj in assigned_objects:
+                mbr_b = obj.mbr
+                stack = [node]
+                while stack:
+                    current = stack.pop()
+                    if current.is_leaf:
+                        for a in current.entities_a:
+                            comparisons += 1
+                            if a.mbr.intersects(mbr_b):
+                                pairs.append((a.oid, obj.oid))
+                        continue
+                    for child in current.children:
+                        node_tests += 1
+                        if child.mbr.intersects(mbr_b):
+                            stack.append(child)
+        stats.comparisons += comparisons
+        stats.node_tests += node_tests
+        stats.join_seconds = time.perf_counter() - join_start
+        stats.memory_bytes = tree.memory_bytes()
+        self._probe_extras(tree, stats)
+        return pairs
+
+    def _probe_table(self, payload, table_b, stats):
+        """Columnar probe: batched assignment + batched range descent."""
+        if payload is None or len(table_b) == 0:
+            return []
+        if payload["backend"] != "columnar":
+            return self._probe(payload, table_b.to_objects(), stats)
+        tree = payload["tree"]
+        stats.extra["backend"] = "columnar"
+
+        assign_start = time.perf_counter()
+        assigned = assign_table_b(tree, table_b, None, stats)
+        stats.assign_seconds = time.perf_counter() - assign_start
+
+        join_start = time.perf_counter()
+        pairs = probe_assigned_nodes_columnar(
+            payload["table_a"],
+            payload["leaf_slices"],
+            table_b,
+            assigned,
+            stats,
+        )
+        stats.join_seconds = time.perf_counter() - join_start
+
+        table_bytes = payload["table_a"].nbytes + table_b.nbytes
+        stats.extra["columnar_table_bytes"] = table_bytes
+        stats.memory_bytes = tree.memory_bytes() + table_bytes
+        self._probe_extras(tree, stats)
+        return pairs
+
+    @staticmethod
+    def _probe_extras(tree: TouchTree, stats: JoinStatistics) -> None:
+        stats.extra["tree_height"] = tree.height
+        stats.extra["tree_nodes"] = tree.node_count()
 
     def _execute_object(
         self,

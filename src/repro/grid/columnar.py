@@ -34,6 +34,9 @@ __all__ = [
     "entry_join_candidates",
     "cell_join_candidates",
     "grid_join_pairs",
+    "sort_entries",
+    "probe_join_candidates",
+    "grid_probe_pairs",
 ]
 
 
@@ -202,6 +205,101 @@ def entry_join_candidates(
             continue
         entry_idx += lo_i
         yield entry_idx, order_b[window_pos]
+
+
+def sort_entries(keys):
+    """Key-sort one entry set once, for repeated probing.
+
+    Returns ``(order, sorted_keys)`` — the stable argsort of ``keys``
+    and the keys in that order.  Build-once/probe-many joins sort the
+    *build* side's entries at prepare time so that each probe batch only
+    pays a binary search of its own (typically much smaller) entry set,
+    instead of the one-shot path's per-join sort-and-scan over the full
+    build side (:func:`probe_join_candidates`).
+    """
+    require_numpy()
+    order = np.argsort(keys, kind="stable")
+    return order, keys[order]
+
+
+def probe_join_candidates(
+    build_order,
+    build_sorted_keys,
+    probe_keys,
+    chunk: int = DEFAULT_CANDIDATE_CHUNK,
+):
+    """Co-located entry pairs of a presorted build side and a probe batch.
+
+    The probe twin of :func:`entry_join_candidates`: the build side was
+    key-sorted once by :func:`sort_entries`; every probe entry's key
+    window is binary-searched against it.  Yields ``(entries_build,
+    entries_probe)`` index arrays into the original entry arrays — the
+    same candidate multiset as ``entry_join_candidates(build, probe)``
+    (one element per key-sharing pair), so ``stats.comparisons`` counts
+    are identical; only the pair order differs.
+    """
+    require_numpy()
+    if len(build_sorted_keys) == 0 or len(probe_keys) == 0:
+        return
+    starts = np.searchsorted(build_sorted_keys, probe_keys, side="left")
+    ends = np.searchsorted(build_sorted_keys, probe_keys, side="right")
+    counts = ends - starts
+    if int(counts.sum()) == 0:
+        return
+    for lo_i, hi_i in chunk_boundaries(counts, chunk):
+        probe_idx, window_pos = concat_ranges(starts[lo_i:hi_i], counts[lo_i:hi_i])
+        if len(probe_idx) == 0:
+            continue
+        probe_idx += lo_i
+        yield build_order[window_pos], probe_idx
+
+
+def grid_probe_pairs(
+    grid: ColumnarGrid,
+    table_a: CoordinateTable,
+    table_b: CoordinateTable,
+    prepared_a,
+    entries_b,
+    stats,
+):
+    """Probe-side twin of :func:`grid_join_pairs` over a prepared A side.
+
+    ``prepared_a`` is ``(obj_a, keys_a, order_a, sorted_keys_a)`` with
+    the sort computed once at prepare time; ``entries_b`` are the probe
+    batch's ``(obj_b, keys_b)`` entries.  Candidate generation, the
+    intersection test and the reference-point ownership rule are the
+    same as the one-shot join, so the returned ``(index_a, index_b)``
+    pair set matches it exactly.
+    """
+    obj_a, keys_a, order_a, sorted_keys_a = prepared_a
+    obj_b, keys_b = entries_b
+    comparisons = 0
+    duplicates = 0
+    dedup_checks = 0
+    out_a: list = []
+    out_b: list = []
+    a_lo, a_hi = table_a.lo, table_a.hi
+    b_lo, b_hi = table_b.lo, table_b.hi
+    for ent_a, ent_b in probe_join_candidates(order_a, sorted_keys_a, keys_b):
+        cand_a, cand_b = obj_a[ent_a], obj_b[ent_b]
+        cand_keys = keys_a[ent_a]
+        comparisons += len(cand_a)
+        hit = ((a_lo[cand_a] <= b_hi[cand_b]) & (b_lo[cand_b] <= a_hi[cand_a])).all(
+            axis=1
+        )
+        hit_a, hit_b, hit_keys = cand_a[hit], cand_b[hit], cand_keys[hit]
+        owned = grid.owned_mask(hit_keys, a_lo[hit_a], b_lo[hit_b])
+        dedup_checks += len(hit_a)
+        duplicates += len(hit_a) - int(owned.sum())
+        out_a.append(hit_a[owned])
+        out_b.append(hit_b[owned])
+    stats.comparisons += comparisons
+    stats.duplicates_suppressed += duplicates
+    stats.dedup_checks += dedup_checks
+    empty = np.empty(0, dtype=np.int64)
+    if not out_a:
+        return empty, empty
+    return np.concatenate(out_a), np.concatenate(out_b)
 
 
 def cell_join_candidates(

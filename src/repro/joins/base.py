@@ -12,6 +12,20 @@ The contract, enforced by the test suite for every algorithm:
 - **complete**: every intersecting pair is reported;
 - **sound**: every reported pair intersects;
 - **duplicate-free**: each pair appears exactly once.
+
+Besides the one-shot :meth:`SpatialJoinAlgorithm.join`, every algorithm
+exposes an explicit **build/probe lifecycle** for build-once/probe-many
+workloads (the query service in :mod:`repro.service`):
+:meth:`~SpatialJoinAlgorithm.prepare` builds the data structures over
+the build dataset once and returns an opaque :class:`BuiltIndex`;
+:meth:`~SpatialJoinAlgorithm.probe` joins a probe dataset (or a raw
+:class:`~repro.geometry.columnar.CoordinateTable` of query MBRs) against
+it without rebuilding.  Algorithms that override the ``_build`` /
+``_probe`` hooks reuse their index across probes
+(:meth:`~SpatialJoinAlgorithm.supports_prepare` is true); the rest fall
+back to re-running the full join per probe, so the lifecycle is uniform
+across the registry.  Probes never mutate the built index, which makes
+concurrent probes from multiple threads safe.
 """
 
 from __future__ import annotations
@@ -20,12 +34,74 @@ import abc
 import time
 from typing import ClassVar, Sequence
 
+from repro.geometry.columnar import CoordinateTable
 from repro.geometry.objects import SpatialObject
 from repro.stats.counters import JoinStatistics
 
-__all__ = ["JoinResult", "SpatialJoinAlgorithm", "Pair"]
+__all__ = ["JoinResult", "SpatialJoinAlgorithm", "BuiltIndex", "Pair"]
 
 Pair = tuple[int, int]
+
+
+class BuiltIndex:
+    """Opaque handle to a prepared build-side index.
+
+    Produced by :meth:`SpatialJoinAlgorithm.prepare` and consumed by
+    :meth:`SpatialJoinAlgorithm.probe`.  ``payload`` is algorithm-private
+    state (a TOUCH tree, grid entry arrays, an R-Tree, or — for the
+    build-per-probe fallback — simply the retained build objects);
+    callers must treat it as opaque.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that built the index; probing with a
+        differently-named algorithm raises.
+    parameters:
+        ``describe()`` of the building algorithm at build time.
+    n_build:
+        Number of objects indexed.
+    reusable:
+        ``True`` when the structures are genuinely reused across probes;
+        ``False`` for the rebuild-per-probe fallback.
+    build_seconds / build_stats:
+        Wall-clock spent building and the statistics collected.
+    """
+
+    __slots__ = (
+        "algorithm",
+        "parameters",
+        "payload",
+        "n_build",
+        "reusable",
+        "build_seconds",
+        "build_stats",
+    )
+
+    def __init__(
+        self,
+        algorithm: str,
+        parameters: dict,
+        payload: object,
+        n_build: int,
+        reusable: bool,
+        build_seconds: float,
+        build_stats: JoinStatistics,
+    ) -> None:
+        self.algorithm = algorithm
+        self.parameters = parameters
+        self.payload = payload
+        self.n_build = n_build
+        self.reusable = reusable
+        self.build_seconds = build_seconds
+        self.build_stats = build_stats
+
+    def __repr__(self) -> str:
+        kind = "reusable" if self.reusable else "rebuild-per-probe"
+        return (
+            f"BuiltIndex({self.algorithm}, n_build={self.n_build}, {kind}, "
+            f"build_seconds={self.build_seconds:.4f})"
+        )
 
 
 class JoinResult:
@@ -101,6 +177,114 @@ class SpatialJoinAlgorithm(abc.ABC):
         stats: JoinStatistics,
     ) -> list[Pair]:
         """Produce the duplicate-free list of intersecting oid pairs."""
+
+    # -- build/probe lifecycle -----------------------------------------
+    @classmethod
+    def supports_prepare(cls) -> bool:
+        """Whether :meth:`prepare` builds structures reused across probes.
+
+        ``False`` means the generic fallback is in effect: ``prepare``
+        retains the build dataset and every probe re-runs the full join.
+        """
+        return cls._build is not SpatialJoinAlgorithm._build
+
+    def prepare(self, dataset_a: Sequence[SpatialObject]) -> BuiltIndex:
+        """Build the algorithm's index over the build dataset once.
+
+        The returned :class:`BuiltIndex` can be probed any number of
+        times — including concurrently from multiple threads — with
+        :meth:`probe`; probing never mutates it.  Per the paper's
+        ε-reduction, callers join *distance* queries by inflating the
+        build dataset before preparing (exactly what
+        :class:`repro.service.SpatialQueryService` does).
+        """
+        objects = list(dataset_a)
+        stats = JoinStatistics()
+        start = time.perf_counter()
+        payload = self._build(objects, stats)
+        elapsed = time.perf_counter() - start
+        stats.build_seconds = elapsed
+        stats.total_seconds = elapsed
+        return BuiltIndex(
+            algorithm=self.name,
+            parameters=self.describe(),
+            payload=payload,
+            n_build=len(objects),
+            reusable=self.supports_prepare(),
+            build_seconds=elapsed,
+            build_stats=stats,
+        )
+
+    def probe(
+        self,
+        built: BuiltIndex,
+        queries: "Sequence[SpatialObject] | CoordinateTable",
+    ) -> JoinResult:
+        """Join a probe dataset against a prepared index.
+
+        ``queries`` is a sequence of objects or a raw
+        :class:`~repro.geometry.columnar.CoordinateTable` of query MBRs;
+        tables flow straight into the batched columnar kernels when the
+        algorithm implements ``_probe_table`` (the service's vectorised
+        MBR-batch path) and are materialised into objects otherwise.
+        Result pairs are ``(build oid, probe oid)``; for raw tables the
+        probe oid is the table's ``ids`` entry (row index by default).
+        """
+        if built.algorithm != self.name:
+            raise ValueError(
+                f"index was prepared by {built.algorithm!r}, cannot probe "
+                f"with {self.name!r}"
+            )
+        stats = JoinStatistics()
+        start = time.perf_counter()
+        if isinstance(queries, CoordinateTable):
+            if type(self)._probe_table is not SpatialJoinAlgorithm._probe_table:
+                pairs = self._probe_table(built.payload, queries, stats)
+            else:
+                pairs = self._probe(built.payload, queries.to_objects(), stats)
+        else:
+            pairs = self._probe(built.payload, list(queries), stats)
+        stats.total_seconds = time.perf_counter() - start
+        stats.result_pairs = len(pairs)
+        parameters = {**self.describe(), "lifecycle": "probe", "n_build": built.n_build}
+        return JoinResult(self.name, pairs, stats, parameters)
+
+    def _build(self, objects_a: list[SpatialObject], stats: JoinStatistics) -> object:
+        """Hook: build the reusable index payload over dataset A.
+
+        The default implementation retains the objects themselves — the
+        build-per-probe fallback for algorithms without a split
+        lifecycle.  Overriding this (and ``_probe``) opts an algorithm
+        into genuine index reuse.
+        """
+        return objects_a
+
+    def _probe(
+        self,
+        payload: object,
+        objects_b: list[SpatialObject],
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        """Hook: join probe objects against a built payload.
+
+        Default (fallback) behaviour re-runs the full join, rebuilding
+        every structure — correct for every algorithm, amortising
+        nothing.
+        """
+        return self._execute(list(payload), objects_b, stats)
+
+    def _probe_table(
+        self,
+        payload: object,
+        table_b: CoordinateTable,
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        """Hook: columnar fast path joining a coordinate table directly.
+
+        Only consulted when overridden; the base :meth:`probe`
+        materialises tables into objects otherwise.
+        """
+        raise NotImplementedError  # pragma: no cover - guarded by probe()
 
     def describe(self) -> dict:
         """Algorithm parameters, for reports.  Subclasses extend this."""

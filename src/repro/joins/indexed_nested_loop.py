@@ -79,3 +79,29 @@ class IndexedNestedLoopJoin(SpatialJoinAlgorithm):
 
         stats.memory_bytes = tree.memory_bytes()
         return pairs
+
+    # -- build/probe lifecycle -----------------------------------------
+    def _build(self, objects_a, stats):
+        """Bulk-load the R-Tree over A once; probes only issue queries."""
+        if not objects_a:
+            return None
+        return RTree(
+            objects_a,
+            fanout=self.fanout,
+            leaf_capacity=self.leaf_capacity,
+            method=self.packing,
+        )
+
+    def _probe(self, payload, objects_b, stats):
+        if payload is None or not objects_b:
+            return []
+        tree = payload
+        pairs: list[Pair] = []
+        join_start = time.perf_counter()
+        for b in objects_b:
+            b_oid = b.oid
+            for a in tree.query(b.mbr, stats):
+                pairs.append((a.oid, b_oid))
+        stats.join_seconds = time.perf_counter() - join_start
+        stats.memory_bytes = tree.memory_bytes()
+        return pairs

@@ -134,6 +134,17 @@ class PBSMJoin(SpatialJoinAlgorithm):
             return self._execute_columnar(objects_a, objects_b, universe, stats)
         return self._execute_object(objects_a, objects_b, universe, stats)
 
+    # -- grid construction (shared by one-shot and lifecycle paths) -----
+    def _make_grid(self, universe: MBR) -> UniformGrid:
+        if self.resolution is not None:
+            return UniformGrid(universe, resolution=self.resolution)
+        return UniformGrid(universe, cell_size=self.cell_size)
+
+    def _make_columnar_grid(self, universe: MBR) -> ColumnarGrid:
+        if self.resolution is not None:
+            return ColumnarGrid(universe.lo, universe.hi, resolution=self.resolution)
+        return ColumnarGrid(universe.lo, universe.hi, cell_size=self.cell_size)
+
     def _execute_object(
         self,
         objects_a: list[SpatialObject],
@@ -142,12 +153,8 @@ class PBSMJoin(SpatialJoinAlgorithm):
         stats: JoinStatistics,
     ) -> list[Pair]:
         build_start = time.perf_counter()
-        if self.resolution is not None:
-            grid_a = UniformGrid(universe, resolution=self.resolution)
-            grid_b = UniformGrid(universe, resolution=self.resolution)
-        else:
-            grid_a = UniformGrid(universe, cell_size=self.cell_size)
-            grid_b = UniformGrid(universe, cell_size=self.cell_size)
+        grid_a = self._make_grid(universe)
+        grid_b = self._make_grid(universe)
         for obj in objects_a:
             grid_a.insert(obj, obj.mbr)
         for obj in objects_b:
@@ -157,11 +164,24 @@ class PBSMJoin(SpatialJoinAlgorithm):
             grid_b.reference_count - len(objects_b)
         )
 
+        join_start = time.perf_counter()
+        pairs = self._merge_object_grids(grid_a, grid_b, stats)
+        stats.join_seconds = time.perf_counter() - join_start
+
+        stats.memory_bytes = grid_a.memory_bytes() + grid_b.memory_bytes()
+        return pairs
+
+    def _merge_object_grids(
+        self,
+        grid_a: UniformGrid,
+        grid_b: UniformGrid,
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        """Join corresponding cells of the two per-side hash grids."""
         kernel = LOCAL_KERNELS[self.local_kernel]
         pairs: list[Pair] = []
         duplicates = 0
 
-        join_start = time.perf_counter()
         # Iterate the sparser map and probe the denser one.
         if len(grid_a) <= len(grid_b):
             outer, inner, a_side_outer = grid_a, grid_b, True
@@ -184,10 +204,8 @@ class PBSMJoin(SpatialJoinAlgorithm):
                     duplicates += 1
 
             kernel(cell_a, cell_b, stats, emit)
-        stats.join_seconds = time.perf_counter() - join_start
 
         stats.duplicates_suppressed += duplicates
-        stats.memory_bytes = grid_a.memory_bytes() + grid_b.memory_bytes()
         return pairs
 
     def _execute_columnar(
@@ -209,12 +227,7 @@ class PBSMJoin(SpatialJoinAlgorithm):
         build_start = time.perf_counter()
         table_a = CoordinateTable.from_objects(objects_a)
         table_b = CoordinateTable.from_objects(objects_b)
-        if self.resolution is not None:
-            grid = ColumnarGrid(
-                universe.lo, universe.hi, resolution=self.resolution
-            )
-        else:
-            grid = ColumnarGrid(universe.lo, universe.hi, cell_size=self.cell_size)
+        grid = self._make_columnar_grid(universe)
         a_obj, a_keys = grid.entries(table_a)
         b_obj, b_keys = grid.entries(table_b)
         stats.build_seconds = time.perf_counter() - build_start
@@ -244,6 +257,111 @@ class PBSMJoin(SpatialJoinAlgorithm):
             memmodel.grid_cells_bytes(
                 len(np.unique(a_keys)) if len(a_keys) else 0, len(a_obj)
             )
+            + memmodel.grid_cells_bytes(
+                len(np.unique(b_keys)) if len(b_keys) else 0, len(b_obj)
+            )
+            + table_bytes
+        )
+        return pairs
+
+    # -- build/probe lifecycle -----------------------------------------
+    def _build(self, objects_a, stats):
+        """Partition A once; probes bring only their own entries.
+
+        Without an explicit ``universe`` the grid is fixed to A's extent
+        at build time (a one-shot join would union both sides).  Probe
+        objects outside of it clamp into the edge cells — the same
+        ownership semantics both backends already apply to out-of-universe
+        objects — so the pair set still matches a one-shot join exactly.
+        """
+        if not objects_a:
+            return None
+        universe = self.universe
+        if universe is None:
+            universe = total_mbr(o.mbr for o in objects_a)
+        backend = resolve_backend(self.backend)
+        if backend == "columnar":
+            from repro.grid.columnar import sort_entries
+
+            table_a = CoordinateTable.from_objects(objects_a)
+            grid = self._make_columnar_grid(universe)
+            a_obj, a_keys = grid.entries(table_a)
+            order_a, sorted_keys_a = sort_entries(a_keys)
+            stats.replicated_entries += len(a_obj) - len(objects_a)
+            return {
+                "backend": "columnar",
+                "table_a": table_a,
+                "grid": grid,
+                "prepared_a": (a_obj, a_keys, order_a, sorted_keys_a),
+                "n_a": len(objects_a),
+                "a_cells_bytes": memmodel.grid_cells_bytes(
+                    len(np.unique(a_keys)) if len(a_keys) else 0, len(a_obj)
+                ),
+            }
+        grid_a = self._make_grid(universe)
+        for obj in objects_a:
+            grid_a.insert(obj, obj.mbr)
+        stats.replicated_entries += grid_a.reference_count - len(objects_a)
+        return {
+            "backend": "object",
+            "universe": universe,
+            "grid_a": grid_a,
+            "n_a": len(objects_a),
+        }
+
+    def _probe(self, payload, objects_b, stats):
+        if payload is None or not objects_b:
+            return []
+        if payload["backend"] == "columnar":
+            return self._probe_table(
+                payload, CoordinateTable.from_objects(objects_b), stats
+            )
+        stats.extra["backend"] = "object"
+        grid_a = payload["grid_a"]
+        build_start = time.perf_counter()
+        grid_b = self._make_grid(payload["universe"])
+        for obj in objects_b:
+            grid_b.insert(obj, obj.mbr)
+        stats.build_seconds = time.perf_counter() - build_start
+        stats.replicated_entries += grid_b.reference_count - len(objects_b)
+
+        join_start = time.perf_counter()
+        pairs = self._merge_object_grids(grid_a, grid_b, stats)
+        stats.join_seconds = time.perf_counter() - join_start
+        stats.memory_bytes = grid_a.memory_bytes() + grid_b.memory_bytes()
+        return pairs
+
+    def _probe_table(self, payload, table_b, stats):
+        if payload is None or len(table_b) == 0:
+            return []
+        if payload["backend"] != "columnar":
+            return self._probe(payload, table_b.to_objects(), stats)
+        from repro.grid.columnar import grid_probe_pairs
+
+        stats.extra["backend"] = "columnar"
+        stats.extra["cell_join"] = "batch"
+        grid = payload["grid"]
+        table_a = payload["table_a"]
+
+        build_start = time.perf_counter()
+        b_obj, b_keys = grid.entries(table_b)
+        stats.build_seconds = time.perf_counter() - build_start
+        stats.replicated_entries += len(b_obj) - len(table_b)
+
+        join_start = time.perf_counter()
+        idx_a, idx_b = grid_probe_pairs(
+            grid, table_a, table_b, payload["prepared_a"], (b_obj, b_keys), stats
+        )
+        pairs: list[Pair] = list(
+            zip(table_a.ids[idx_a].tolist(), table_b.ids[idx_b].tolist())
+        )
+        stats.join_seconds = time.perf_counter() - join_start
+        # Mirror the one-shot accounting (per-side cell model + resident
+        # tables) so cached-vs-rebuild memory columns stay comparable.
+        table_bytes = table_a.nbytes + table_b.nbytes
+        stats.extra["columnar_table_bytes"] = table_bytes
+        stats.memory_bytes = (
+            payload["a_cells_bytes"]
             + memmodel.grid_cells_bytes(
                 len(np.unique(b_keys)) if len(b_keys) else 0, len(b_obj)
             )

@@ -37,6 +37,7 @@ __all__ = [
     "AlgorithmSpec",
     "make_algorithm",
     "algorithm_names",
+    "prepare_aware_names",
 ]
 
 
@@ -87,6 +88,20 @@ BACKEND_AWARE = frozenset(
 def algorithm_names() -> list[str]:
     """All registered algorithm names."""
     return list(ALGORITHMS)
+
+
+def prepare_aware_names() -> list[str]:
+    """Registered algorithms whose index is reused across probes.
+
+    The rest still work through the build/probe lifecycle (and hence
+    through the query service) via the base-class fallback, which
+    rebuilds per probe.
+    """
+    return [
+        name
+        for name, factory in ALGORITHMS.items()
+        if factory().supports_prepare()
+    ]
 
 
 def make_algorithm(name: str, **overrides) -> SpatialJoinAlgorithm:

@@ -89,6 +89,43 @@ class RTreeSyncJoin(SpatialJoinAlgorithm):
         stats.memory_bytes = tree_a.memory_bytes() + tree_b.memory_bytes()
         return pairs
 
+    # -- build/probe lifecycle -----------------------------------------
+    def _build(self, objects_a, stats):
+        """Bulk-load A's tree once; each probe packs only its own side."""
+        if not objects_a:
+            return None
+        return RTree(
+            objects_a,
+            fanout=self.fanout,
+            leaf_capacity=self.leaf_capacity,
+            method=self.packing,
+        )
+
+    def _probe(self, payload, objects_b, stats):
+        if payload is None or not objects_b:
+            return []
+        tree_a = payload
+        build_start = time.perf_counter()
+        tree_b = RTree(
+            objects_b,
+            fanout=self.fanout,
+            leaf_capacity=self.leaf_capacity,
+            method=self.packing,
+        )
+        stats.build_seconds = time.perf_counter() - build_start
+
+        pairs: list[Pair] = []
+        kernel = LOCAL_KERNELS[self.local_kernel]
+        emit = lambda a, b: pairs.append((a.oid, b.oid))  # noqa: E731
+
+        join_start = time.perf_counter()
+        stats.node_tests += 1
+        if tree_a.root.mbr.intersects(tree_b.root.mbr):
+            self._traverse(tree_a.root, tree_b.root, stats, kernel, emit)
+        stats.join_seconds = time.perf_counter() - join_start
+        stats.memory_bytes = tree_a.memory_bytes() + tree_b.memory_bytes()
+        return pairs
+
     @staticmethod
     def _traverse(root_a: RTreeNode, root_b: RTreeNode, stats, kernel, emit) -> None:
         """Iterative lockstep descent over intersecting node pairs.

@@ -154,6 +154,17 @@ class TwoLayerJoin(SpatialJoinAlgorithm):
             return self._execute_columnar(objects_a, objects_b, universe, stats)
         return self._execute_object(objects_a, objects_b, universe, stats)
 
+    # -- grid construction (shared by one-shot and lifecycle paths) -----
+    def _make_grid(self, universe: MBR) -> UniformGrid:
+        if self.resolution is not None:
+            return UniformGrid(universe, resolution=self.resolution)
+        return UniformGrid(universe, cell_size=self.cell_size)
+
+    def _make_columnar_grid(self, universe: MBR) -> ColumnarGrid:
+        if self.resolution is not None:
+            return ColumnarGrid(universe.lo, universe.hi, resolution=self.resolution)
+        return ColumnarGrid(universe.lo, universe.hi, cell_size=self.cell_size)
+
     # -- object backend -------------------------------------------------
     def _execute_object(
         self,
@@ -163,16 +174,11 @@ class TwoLayerJoin(SpatialJoinAlgorithm):
         stats: JoinStatistics,
     ) -> list[Pair]:
         build_start = time.perf_counter()
-        if self.resolution is not None:
-            grid = UniformGrid(universe, resolution=self.resolution)
-        else:
-            grid = UniformGrid(universe, cell_size=self.cell_size)
+        grid = self._make_grid(universe)
         dim = universe.dim
         n_classes = 1 << dim
-        # tile coords -> (per-class A lists, per-class B lists)
-        tiles: dict[tuple[int, ...], tuple[list, list]] = {}
-        entries_a = self._assign(grid, objects_a, tiles, side=0, n_classes=n_classes)
-        entries_b = self._assign(grid, objects_b, tiles, side=1, n_classes=n_classes)
+        tiles_a, entries_a = self._assign_side(grid, objects_a, n_classes)
+        tiles_b, entries_b = self._assign_side(grid, objects_b, n_classes)
         stats.build_seconds = time.perf_counter() - build_start
         stats.replicated_entries = (entries_a - len(objects_a)) + (
             entries_b - len(objects_b)
@@ -186,7 +192,10 @@ class TwoLayerJoin(SpatialJoinAlgorithm):
             pairs.append((a.oid, b.oid))
 
         join_start = time.perf_counter()
-        for groups_a, groups_b in tiles.values():
+        for coords, groups_b in tiles_b.items():
+            groups_a = tiles_a.get(coords)
+            if groups_a is None:
+                continue
             for mask_a, mask_b in matrix:
                 tile_a = groups_a[mask_a]
                 tile_b = groups_b[mask_b]
@@ -194,45 +203,9 @@ class TwoLayerJoin(SpatialJoinAlgorithm):
                     kernel(tile_a, tile_b, stats, emit)
         stats.join_seconds = time.perf_counter() - join_start
         stats.memory_bytes = memmodel.grid_cells_bytes(
-            len(tiles), entries_a + entries_b
+            len(tiles_a.keys() | tiles_b.keys()), entries_a + entries_b
         )
         return pairs
-
-    @staticmethod
-    def _assign(
-        grid: UniformGrid,
-        objects: list[SpatialObject],
-        tiles: dict,
-        side: int,
-        n_classes: int,
-    ) -> int:
-        """Multiple-assign one dataset into per-tile class buckets.
-
-        Returns the number of (object, tile) entries stored.  The class
-        mask of an entry sets bit ``d`` iff the tile's index equals the
-        low end of the object's clamped index range along ``d`` — the
-        tile owns the MBR's low corner on that axis.
-        """
-        entries = 0
-        for obj in objects:
-            ranges = grid.index_ranges(obj.mbr)
-            for coords in itertools.product(
-                *(range(lo, hi + 1) for lo, hi in ranges)
-            ):
-                mask = 0
-                for d, (lo, _hi) in enumerate(ranges):
-                    if coords[d] == lo:
-                        mask |= 1 << d
-                bucket = tiles.get(coords)
-                if bucket is None:
-                    bucket = (
-                        [[] for _ in range(n_classes)],
-                        [[] for _ in range(n_classes)],
-                    )
-                    tiles[coords] = bucket
-                bucket[side][mask].append(obj)
-                entries += 1
-        return entries
 
     # -- columnar backend -----------------------------------------------
     def _execute_columnar(
@@ -262,34 +235,15 @@ class TwoLayerJoin(SpatialJoinAlgorithm):
         stats.extra["cell_join"] = "batch"
 
         join_start = time.perf_counter()
-        full = full_mask(grid.dim)
-        comparisons = 0
-        out_a: list = []
-        out_b: list = []
-        a_lo, a_hi = table_a.lo, table_a.hi
-        b_lo, b_hi = table_b.lo, table_b.hi
-        for ent_a, ent_b in entry_join_candidates(a_keys, b_keys):
-            # Layer two: the mini-join matrix as one vectorised mask
-            # test — only pairs whose classes jointly own the tile's
-            # begin corner on every axis are intersection-tested.
-            allowed = (a_masks[ent_a] | b_masks[ent_b]) == full
-            ent_a, ent_b = ent_a[allowed], ent_b[allowed]
-            comparisons += len(ent_a)
-            cand_a, cand_b = a_obj[ent_a], b_obj[ent_b]
-            hit = (
-                (a_lo[cand_a] <= b_hi[cand_b]) & (b_lo[cand_b] <= a_hi[cand_a])
-            ).all(axis=1)
-            out_a.append(cand_a[hit])
-            out_b.append(cand_b[hit])
-        stats.comparisons += comparisons
-        if out_a:
-            idx_a = np.concatenate(out_a)
-            idx_b = np.concatenate(out_b)
-            pairs: list[Pair] = list(
-                zip(table_a.ids[idx_a].tolist(), table_b.ids[idx_b].tolist())
-            )
-        else:
-            pairs = []
+        pairs = self._masked_batch_join(
+            entry_join_candidates(a_keys, b_keys),
+            (a_obj, a_masks),
+            (b_obj, b_masks),
+            table_a,
+            table_b,
+            full_mask(grid.dim),
+            stats,
+        )
         stats.join_seconds = time.perf_counter() - join_start
 
         table_bytes = table_a.nbytes + table_b.nbytes
@@ -304,5 +258,217 @@ class TwoLayerJoin(SpatialJoinAlgorithm):
             )
             + table_bytes
             + mask_bytes
+        )
+        return pairs
+
+    @staticmethod
+    def _masked_batch_join(
+        candidates,
+        entries_a,
+        entries_b,
+        table_a: CoordinateTable,
+        table_b: CoordinateTable,
+        full: int,
+        stats: JoinStatistics,
+    ) -> list[Pair]:
+        """Layer two in bulk: mask-filter candidate chunks, batch-test.
+
+        ``candidates`` yields co-located ``(ent_a, ent_b)`` entry-index
+        chunks (one-shot: :func:`entry_join_candidates`; probe:
+        :func:`~repro.grid.columnar.probe_join_candidates` over the
+        presorted build entries); ``entries_*`` carry the per-entry
+        ``(object_index, class_mask)`` payloads.  Only pairs whose
+        classes jointly own the tile's begin corner on every axis are
+        intersection-tested — duplicate-free with zero ownership tests.
+        """
+        a_obj, a_masks = entries_a
+        b_obj, b_masks = entries_b
+        comparisons = 0
+        out_a: list = []
+        out_b: list = []
+        a_lo, a_hi = table_a.lo, table_a.hi
+        b_lo, b_hi = table_b.lo, table_b.hi
+        for ent_a, ent_b in candidates:
+            allowed = (a_masks[ent_a] | b_masks[ent_b]) == full
+            ent_a, ent_b = ent_a[allowed], ent_b[allowed]
+            comparisons += len(ent_a)
+            cand_a, cand_b = a_obj[ent_a], b_obj[ent_b]
+            hit = (
+                (a_lo[cand_a] <= b_hi[cand_b]) & (b_lo[cand_b] <= a_hi[cand_a])
+            ).all(axis=1)
+            out_a.append(cand_a[hit])
+            out_b.append(cand_b[hit])
+        stats.comparisons += comparisons
+        if not out_a:
+            return []
+        idx_a = np.concatenate(out_a)
+        idx_b = np.concatenate(out_b)
+        return list(zip(table_a.ids[idx_a].tolist(), table_b.ids[idx_b].tolist()))
+
+    # -- build/probe lifecycle -----------------------------------------
+    @staticmethod
+    def _assign_side(
+        grid: UniformGrid,
+        objects: list[SpatialObject],
+        n_classes: int,
+        restrict: "set | None" = None,
+    ) -> tuple[dict, int]:
+        """Classified per-tile buckets of one dataset.
+
+        Returns ``({tile coords: per-class object lists}, entries)``.
+        With ``restrict`` given, only tiles in that set are populated —
+        probes skip tiles holding no build objects, which cannot emit
+        pairs (the owner tile of any pair contains both objects).
+        """
+        tiles: dict[tuple[int, ...], list] = {}
+        entries = 0
+        for obj in objects:
+            ranges = grid.index_ranges(obj.mbr)
+            for coords in itertools.product(
+                *(range(lo, hi + 1) for lo, hi in ranges)
+            ):
+                if restrict is not None and coords not in restrict:
+                    continue
+                mask = 0
+                for d, (lo, _hi) in enumerate(ranges):
+                    if coords[d] == lo:
+                        mask |= 1 << d
+                bucket = tiles.get(coords)
+                if bucket is None:
+                    bucket = [[] for _ in range(n_classes)]
+                    tiles[coords] = bucket
+                bucket[mask].append(obj)
+                entries += 1
+        return tiles, entries
+
+    def _build(self, objects_a, stats):
+        """Layer one over A only; the tile grid is fixed to A's extent.
+
+        Probe objects outside the build universe clamp into the edge
+        tiles — the ownership algebra is unchanged under clamping (the
+        same guarantee the one-shot join gives objects outside a fixed
+        ``universe``), so pair sets match the one-shot path exactly.
+        """
+        if not objects_a:
+            return None
+        universe = self.universe
+        if universe is None:
+            universe = total_mbr(o.mbr for o in objects_a)
+        backend = resolve_backend(self.backend)
+        if backend == "columnar":
+            from repro.grid.columnar import sort_entries
+
+            table_a = CoordinateTable.from_objects(objects_a)
+            grid = self._make_columnar_grid(universe)
+            a_obj, a_keys, a_masks = grid.entries(table_a, with_class_masks=True)
+            order_a, sorted_keys_a = sort_entries(a_keys)
+            stats.replicated_entries += len(a_obj) - len(objects_a)
+            return {
+                "backend": "columnar",
+                "table_a": table_a,
+                "grid": grid,
+                "a_obj": a_obj,
+                "a_keys": a_keys,
+                "a_masks": a_masks,
+                "order_a": order_a,
+                "sorted_keys_a": sorted_keys_a,
+                "unique_a_keys": np.unique(a_keys),
+            }
+        grid = self._make_grid(universe)
+        n_classes = 1 << universe.dim
+        tiles_a, entries_a = self._assign_side(grid, objects_a, n_classes)
+        stats.replicated_entries += entries_a - len(objects_a)
+        return {
+            "backend": "object",
+            "grid": grid,
+            "dim": universe.dim,
+            "tiles_a": tiles_a,
+            "entries_a": entries_a,
+        }
+
+    def _probe(self, payload, objects_b, stats):
+        if payload is None or not objects_b:
+            return []
+        if payload["backend"] == "columnar":
+            return self._probe_table(
+                payload, CoordinateTable.from_objects(objects_b), stats
+            )
+        stats.extra["backend"] = "object"
+        grid = payload["grid"]
+        tiles_a = payload["tiles_a"]
+        n_classes = 1 << payload["dim"]
+
+        build_start = time.perf_counter()
+        tiles_b, entries_b = self._assign_side(
+            grid, objects_b, n_classes, restrict=tiles_a.keys()
+        )
+        stats.build_seconds = time.perf_counter() - build_start
+        stats.replicated_entries += entries_b - len(objects_b)
+
+        kernel = LOCAL_KERNELS[self.local_kernel]
+        matrix = mini_join_masks(payload["dim"])
+        pairs: list[Pair] = []
+
+        def emit(a: SpatialObject, b: SpatialObject) -> None:
+            pairs.append((a.oid, b.oid))
+
+        join_start = time.perf_counter()
+        for coords, groups_b in tiles_b.items():
+            groups_a = tiles_a[coords]
+            for mask_a, mask_b in matrix:
+                tile_a = groups_a[mask_a]
+                tile_b = groups_b[mask_b]
+                if tile_a and tile_b:
+                    kernel(tile_a, tile_b, stats, emit)
+        stats.join_seconds = time.perf_counter() - join_start
+        # Same analytic model as the one-shot path (tiles + stored
+        # entries of both sides) so cached-vs-rebuild memory columns
+        # stay comparable; probe-side tiles are a subset of A's.
+        stats.memory_bytes = memmodel.grid_cells_bytes(
+            len(tiles_a), payload["entries_a"] + entries_b
+        )
+        return pairs
+
+    def _probe_table(self, payload, table_b, stats):
+        if payload is None or len(table_b) == 0:
+            return []
+        if payload["backend"] != "columnar":
+            return self._probe(payload, table_b.to_objects(), stats)
+        from repro.grid.columnar import probe_join_candidates
+
+        stats.extra["backend"] = "columnar"
+        stats.extra["cell_join"] = "batch"
+        grid = payload["grid"]
+
+        build_start = time.perf_counter()
+        b_obj, b_keys, b_masks = grid.entries(table_b, with_class_masks=True)
+        stats.build_seconds = time.perf_counter() - build_start
+        stats.replicated_entries += len(b_obj) - len(table_b)
+
+        join_start = time.perf_counter()
+        pairs = self._masked_batch_join(
+            probe_join_candidates(
+                payload["order_a"], payload["sorted_keys_a"], b_keys
+            ),
+            (payload["a_obj"], payload["a_masks"]),
+            (b_obj, b_masks),
+            payload["table_a"],
+            table_b,
+            full_mask(grid.dim),
+            stats,
+        )
+        stats.join_seconds = time.perf_counter() - join_start
+
+        # Mirror the one-shot accounting: populated tiles + entries of
+        # both sides, the resident coordinate tables and the class masks.
+        table_bytes = payload["table_a"].nbytes + table_b.nbytes
+        stats.extra["columnar_table_bytes"] = table_bytes
+        populated = len(np.union1d(payload["unique_a_keys"], b_keys))
+        stats.memory_bytes = (
+            memmodel.grid_cells_bytes(
+                populated, len(payload["a_obj"]) + len(b_obj)
+            )
+            + table_bytes
+            + int(payload["a_masks"].nbytes + b_masks.nbytes)
         )
         return pairs

@@ -1,0 +1,34 @@
+"""Build-once/probe-many query service over the join algorithms.
+
+The subsystem that turns the batch reproduction into a servable engine
+(see ``docs/service.md``):
+
+- :mod:`repro.service.fingerprint` — deterministic dataset digests;
+- :mod:`repro.service.cache` — thread-safe LRU of built indexes keyed
+  by (fingerprint, algorithm, config, backend, ε);
+- :mod:`repro.service.service` — :class:`SpatialQueryService`: named
+  datasets, cached ``prepare``/``probe`` lifecycles, batch MBR probes,
+  warm/cold counters;
+- :mod:`repro.service.driver` — the repeated-query workload loop behind
+  ``repro-touch serve`` and the ``repeated_probe`` experiment.
+"""
+
+from repro.service.cache import IndexCache, IndexKey
+from repro.service.driver import probe_batches, run_serve_workload
+from repro.service.fingerprint import dataset_fingerprint
+from repro.service.service import (
+    SpatialQueryService,
+    default_service,
+    reset_default_service,
+)
+
+__all__ = [
+    "IndexCache",
+    "IndexKey",
+    "SpatialQueryService",
+    "dataset_fingerprint",
+    "default_service",
+    "probe_batches",
+    "reset_default_service",
+    "run_serve_workload",
+]

@@ -1,0 +1,159 @@
+"""Thread-safe LRU cache of built spatial indexes.
+
+The cache maps an :class:`IndexKey` — (dataset fingerprint, algorithm,
+config, backend, ε) — to the :class:`~repro.joins.base.BuiltIndex` the
+algorithm prepared for that exact combination.  Concurrent consumers are
+safe: lookups and insertions hold one lock, and a per-key build lock
+makes racing cold queries for the same key build the index exactly once
+while builds for *different* keys proceed in parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.joins.base import BuiltIndex
+
+__all__ = ["IndexKey", "IndexCache"]
+
+
+@dataclass(frozen=True)
+class IndexKey:
+    """Everything a built index depends on, in hashable form.
+
+    ``config`` is the algorithm-override mapping as a sorted item tuple
+    (the same normalisation as
+    :class:`~repro.joins.registry.AlgorithmSpec`); ``backend`` is kept
+    out of ``config`` so a backend switch is visibly a different key
+    even for algorithms that ignore the parameter.
+    """
+
+    fingerprint: str
+    algorithm: str
+    config: tuple
+    backend: str
+    epsilon: float
+
+    @classmethod
+    def create(
+        cls,
+        fingerprint: str,
+        algorithm: str,
+        config: dict,
+        backend: str | None,
+        epsilon: float,
+    ) -> "IndexKey":
+        config = {k: v for k, v in config.items() if k != "backend"}
+        return cls(
+            fingerprint=fingerprint,
+            algorithm=algorithm,
+            config=tuple(sorted(config.items())),
+            backend=backend or "default",
+            epsilon=float(epsilon),
+        )
+
+
+class IndexCache:
+    """LRU over built indexes with warm/cold/eviction counters.
+
+    ``capacity`` bounds the number of resident indexes (least recently
+    *used* evicted first; both hits and insertions refresh recency).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[IndexKey, BuiltIndex]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._building: dict[IndexKey, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[IndexKey]:
+        """Resident keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def get(self, key: IndexKey) -> BuiltIndex | None:
+        """Warm lookup; refreshes recency and counts a hit or a miss."""
+        with self._lock:
+            built = self._entries.get(key)
+            if built is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return built
+
+    def put(self, key: IndexKey, built: BuiltIndex) -> None:
+        """Insert (or refresh) an index, evicting the LRU tail."""
+        with self._lock:
+            self._insert_locked(key, built)
+
+    def get_or_build(
+        self, key: IndexKey, builder: Callable[[], BuiltIndex]
+    ) -> tuple[BuiltIndex, bool]:
+        """Return ``(index, warm)``, building at most once per key.
+
+        ``builder`` runs outside the cache-wide lock, so slow builds for
+        different keys never serialise each other; a per-key lock stops
+        two threads from building the same index twice.
+        """
+        with self._lock:
+            built = self._entries.get(key)
+            if built is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return built, True
+            build_lock = self._building.setdefault(key, threading.Lock())
+        with build_lock:
+            with self._lock:
+                built = self._entries.get(key)
+                if built is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return built, True
+                self.misses += 1
+            try:
+                built = builder()
+            finally:
+                # Always drop the per-key lock entry — a failing build
+                # must not leave it behind, or retries of distinct
+                # failing keys would grow the dict without bound.
+                with self._lock:
+                    self._building.pop(key, None)
+            with self._lock:
+                self._insert_locked(key, built)
+            return built, False
+
+    def clear(self) -> None:
+        """Drop every resident index (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Snapshot of the counters and occupancy."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def _insert_locked(self, key: IndexKey, built: BuiltIndex) -> None:
+        self._entries[key] = built
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1

@@ -1,0 +1,48 @@
+"""Deterministic dataset fingerprints for index-cache keys.
+
+A fingerprint digests exactly what a built index depends on: the object
+ids and the MBR coordinates, in dataset order.  Two datasets with the
+same objects in the same order share a fingerprint regardless of how
+they were constructed (generator, IO round-trip, ``Dataset`` wrapper or
+plain list) and regardless of whether numpy is importable — the columnar
+fast path and the pure-Python fallback pack byte-identical streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Sequence
+
+from repro.geometry.columnar import HAVE_NUMPY
+from repro.geometry.objects import SpatialObject
+
+__all__ = ["dataset_fingerprint"]
+
+
+def dataset_fingerprint(dataset: Sequence[SpatialObject]) -> str:
+    """Hex digest identifying a dataset's ids + coordinates.
+
+    O(N) — the service computes it once per registered dataset (and per
+    ad-hoc query dataset), not per probe.
+    """
+    digest = hashlib.sha256()
+    objects = dataset if isinstance(dataset, (list, tuple)) else list(dataset)
+    if not objects:
+        return digest.hexdigest()
+    if HAVE_NUMPY:
+        from repro.geometry.columnar import CoordinateTable
+
+        table = CoordinateTable.from_objects(objects)
+        digest.update(table.ids.tobytes())
+        digest.update(table.coords.tobytes())
+        return digest.hexdigest()
+    dim = objects[0].mbr.dim
+    id_pack = struct.Struct("<q").pack
+    coord_pack = struct.Struct(f"<{2 * dim}d").pack
+    for obj in objects:
+        digest.update(id_pack(obj.oid))
+    for obj in objects:
+        mbr = obj.mbr
+        digest.update(coord_pack(*mbr.lo, *mbr.hi))
+    return digest.hexdigest()

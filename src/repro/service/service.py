@@ -1,0 +1,214 @@
+"""The build-once/probe-many spatial query service.
+
+:class:`SpatialQueryService` turns the library's batch reproduction into
+a servable engine: datasets are registered once under a name, the first
+query against a (dataset, algorithm, config, backend, ε) combination
+builds the algorithm's index through the
+:meth:`~repro.joins.base.SpatialJoinAlgorithm.prepare` lifecycle and
+caches it in a thread-safe LRU, and every further query probes the warm
+index without rebuilding — the shape TOUCH's hierarchy was designed for
+(build over one dataset, probe with the other, PAPER.md §3).
+
+Queries accept a probe dataset (any object sequence) or a raw batch of
+MBRs, which flows through the vectorised columnar probe kernels without
+materialising objects.  Concurrent queries from multiple threads are
+safe: probes never mutate a built index, and racing cold queries build
+each index exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, Sequence
+
+from repro.datasets.base import Dataset
+from repro.geometry.columnar import HAVE_NUMPY, CoordinateTable
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import SpatialObject
+from repro.joins.base import BuiltIndex, JoinResult
+from repro.joins.registry import make_algorithm
+from repro.service.cache import IndexCache, IndexKey
+from repro.service.fingerprint import dataset_fingerprint
+
+__all__ = ["SpatialQueryService", "default_service", "reset_default_service"]
+
+
+class SpatialQueryService:
+    """Named datasets + cached built indexes + probe APIs.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of built indexes kept warm (LRU beyond it).
+    backend:
+        Default geometry backend forwarded to backend-aware algorithms
+        (per-query ``backend=`` overrides win; ``None`` leaves each
+        algorithm's own default).
+    """
+
+    def __init__(self, capacity: int = 8, backend: str | None = None) -> None:
+        self.cache = IndexCache(capacity=capacity)
+        self.default_backend = backend
+        self._datasets: dict[str, tuple[list[SpatialObject], str]] = {}
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._build_seconds = 0.0
+        self._probe_seconds = 0.0
+
+    # -- dataset registry ----------------------------------------------
+    def register(self, name: str, dataset: Sequence[SpatialObject]) -> str:
+        """Register (or replace) a named dataset; returns its fingerprint.
+
+        The fingerprint is computed once here, so queries by name never
+        pay the O(N) digest.
+        """
+        objects = list(dataset)
+        fingerprint = dataset_fingerprint(objects)
+        with self._lock:
+            self._datasets[name] = (objects, fingerprint)
+        return fingerprint
+
+    def datasets(self) -> dict[str, int]:
+        """Registered dataset names and their cardinalities."""
+        with self._lock:
+            return {name: len(objs) for name, (objs, _) in self._datasets.items()}
+
+    def _resolve(
+        self, dataset: "str | Sequence[SpatialObject]"
+    ) -> tuple[list[SpatialObject], str]:
+        if isinstance(dataset, str):
+            with self._lock:
+                try:
+                    return self._datasets[dataset]
+                except KeyError:
+                    known = ", ".join(sorted(self._datasets)) or "(none)"
+                    raise KeyError(
+                        f"unknown dataset {dataset!r}; registered: {known}"
+                    ) from None
+        objects = list(dataset)
+        return objects, dataset_fingerprint(objects)
+
+    # -- queries -------------------------------------------------------
+    def query(
+        self,
+        dataset: "str | Sequence[SpatialObject]",
+        probe: "Sequence[SpatialObject] | CoordinateTable",
+        epsilon: float,
+        algorithm: str = "TOUCH",
+        **config,
+    ) -> JoinResult:
+        """Distance-join ``probe`` against a (cached) index over ``dataset``.
+
+        ``dataset`` is a registered name or an ad-hoc object sequence;
+        ``probe`` is an object sequence, a :class:`Dataset` or a raw
+        :class:`~repro.geometry.columnar.CoordinateTable` of query MBRs.
+        Per the paper's ε-reduction the *build* side is inflated by
+        ``epsilon`` before indexing, so each distinct ε keys its own
+        index.  ``config`` is forwarded to the registry factory
+        (``backend=...``, ``fanout=...``, ...).
+
+        The returned :class:`~repro.joins.base.JoinResult` carries
+        ``parameters["cache"]`` (``"warm"`` | ``"cold"``) and
+        ``parameters["build_seconds"]`` of the underlying index.
+        """
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        objects, fingerprint = self._resolve(dataset)
+        if "backend" not in config and self.default_backend is not None:
+            config = {**config, "backend": self.default_backend}
+        key = IndexKey.create(
+            fingerprint,
+            algorithm,
+            config,
+            config.get("backend"),
+            epsilon,
+        )
+        algo = make_algorithm(algorithm, **config)
+
+        def builder() -> BuiltIndex:
+            build_side = [obj.inflated(epsilon) for obj in objects]
+            return algo.prepare(build_side)
+
+        built, warm = self.cache.get_or_build(key, builder)
+        if isinstance(probe, Dataset):
+            probe = list(probe)
+        start = time.perf_counter()
+        result = algo.probe(built, probe)
+        probe_seconds = time.perf_counter() - start
+        with self._lock:
+            self._queries += 1
+            self._probe_seconds += probe_seconds
+            if not warm:
+                self._build_seconds += built.build_seconds
+        result.parameters = {
+            **result.parameters,
+            "cache": "warm" if warm else "cold",
+            "build_seconds": built.build_seconds,
+            "epsilon": epsilon,
+        }
+        return result
+
+    def probe_mbrs(
+        self,
+        dataset: "str | Sequence[SpatialObject]",
+        mbrs: Iterable[MBR],
+        epsilon: float,
+        algorithm: str = "TOUCH",
+        **config,
+    ) -> JoinResult:
+        """Batch-probe raw query MBRs against a cached index.
+
+        The batch becomes one coordinate table that flows through the
+        vectorised columnar probe kernels (object fallback without
+        numpy).  Result pairs are ``(build oid, query position)`` with
+        positions numbered 0..M-1 in batch order.
+        """
+        boxes = list(mbrs)
+        if not boxes:
+            raise ValueError("probe_mbrs requires at least one query MBR")
+        if HAVE_NUMPY:
+            batch: "CoordinateTable | list[SpatialObject]" = (
+                CoordinateTable.from_mbrs(boxes)
+            )
+        else:
+            batch = [SpatialObject(i, box) for i, box in enumerate(boxes)]
+        return self.query(dataset, batch, epsilon, algorithm=algorithm, **config)
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        """Warm/cold counters, cache occupancy and cumulative timings."""
+        cache = self.cache.stats()
+        with self._lock:
+            return {
+                "queries": self._queries,
+                "warm_hits": cache["hits"],
+                "cold_builds": cache["misses"],
+                "evictions": cache["evictions"],
+                "cached_indexes": cache["size"],
+                "capacity": cache["capacity"],
+                "registered_datasets": len(self._datasets),
+                "build_seconds": self._build_seconds,
+                "probe_seconds": self._probe_seconds,
+            }
+
+
+#: Process-wide service used by ``run_algorithm(reuse_index=True)``.
+_DEFAULT: SpatialQueryService | None = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_service() -> SpatialQueryService:
+    """The lazily-created process-wide service instance."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = SpatialQueryService()
+        return _DEFAULT
+
+
+def reset_default_service() -> None:
+    """Drop the process-wide service (tests; releases cached indexes)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        _DEFAULT = None

@@ -133,6 +133,24 @@ class TestExperiments:
         result = run_experiment("loading", SMOKE)
         assert all(row["join_over_load"] > 1.0 for row in result.rows)
 
+    def test_repeated_probe_modes_and_parity(self):
+        result = run_experiment("repeated_probe", SMOKE)
+        modes = {(row["algorithm"], row["mode"]) for row in result.rows}
+        assert modes == {
+            ("TOUCH", "rebuild"),
+            ("TOUCH", "cached"),
+            ("TwoLayer-500", "rebuild"),
+            ("TwoLayer-500", "cached"),
+        }
+        by_algorithm = {}
+        for row in result.rows:
+            by_algorithm.setdefault(row["algorithm"], {})[row["mode"]] = row
+        for rows in by_algorithm.values():
+            # The driver hard-asserts per-batch pair parity; the summary
+            # totals must agree too.
+            assert rows["cached"]["result_pairs"] == rows["rebuild"]["result_pairs"]
+            assert rows["cached"]["speedup"] > 0
+
     def test_ablation_chunked_result_parity(self):
         result = run_experiment("ablation_chunked", SMOKE)
         counts = {row["result_pairs"] for row in result.rows}
@@ -181,6 +199,43 @@ class TestParallelRunner:
         assert current_parallel() == (3, "slabs", "reference")
         monkeypatch.delenv("REPRO_WORKERS")
         assert current_parallel() is None
+
+    def test_env_junk_values_name_the_variable(self, monkeypatch):
+        """Regression: junk REPRO_* values used to surface as bare
+        ``int()`` tracebacks (or deep engine errors) with no hint which
+        environment variable was at fault."""
+        from repro.bench.runner import current_backend, current_parallel
+
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS='many'"):
+            current_parallel()
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ValueError, match="REPRO_WORKERS='-2'"):
+            current_parallel()
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_DECOMPOSE", "shards")
+        with pytest.raises(ValueError, match="REPRO_DECOMPOSE='shards'"):
+            current_parallel()
+        monkeypatch.delenv("REPRO_DECOMPOSE")
+        monkeypatch.setenv("REPRO_DEDUP", "hope")
+        with pytest.raises(ValueError, match="REPRO_DEDUP='hope'"):
+            current_parallel()
+        monkeypatch.delenv("REPRO_DEDUP")
+        monkeypatch.setenv("REPRO_BACKEND", "fortran")
+        with pytest.raises(ValueError, match="REPRO_BACKEND='fortran'"):
+            current_backend()
+
+    def test_env_zero_workers_stays_sequential(self, monkeypatch):
+        from repro.bench.runner import current_parallel
+
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert current_parallel() is None
+
+    def test_run_algorithm_surfaces_env_error(self, monkeypatch):
+        dataset_a, dataset_b = synthetic_pair("uniform", 30, 60, SMOKE)
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            run_algorithm("NL", dataset_a, dataset_b, 5.0)
 
     def test_parallel_scaling_experiment(self):
         result = run_experiment("parallel_scaling", SMOKE)

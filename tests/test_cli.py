@@ -33,6 +33,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig9", "--decompose", "shards"])
 
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--probes", "12", "--algorithm", "TwoLayer-500", "--compare-rebuild"]
+        )
+        assert args.probes == 12
+        assert args.algorithm == "TwoLayer-500"
+        assert args.compare_rebuild is True
+        assert args.batch is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--algorithm", "MagicJoin"])
+
     def test_dedup_flag(self):
         args = build_parser().parse_args(
             ["run", "fig9", "--workers", "2", "--dedup", "partition"]
