@@ -1,10 +1,12 @@
 """Benchmark-trajectory runner: record the perf curve, gate regressions.
 
 Runs the medium Figure-9 (uniform) and Figure-11 (clustered) workloads
-for the headline algorithms plus the ``repeated_probe`` build-once/
-probe-many workload, and writes a flat ``BENCH_PR<N>.json`` artifact at
-the repo root — the committed point of this PR's performance trajectory.
-Row schema (stable across PRs, so points are comparable)::
+for the headline algorithms, the ``repeated_probe`` build-once/
+probe-many workload, and the ``serve_load`` sharded scatter-gather
+workload (one row per shard count, qps + p50/p99 in the row extras),
+and writes a flat ``BENCH_PR<N>.json`` artifact at the repo root — the
+committed point of this PR's performance trajectory.  Row schema
+(stable across PRs, so points are comparable)::
 
     {"algorithm": ..., "backend": ..., "workload": ..., "seconds": ..., "pairs": ...}
 
@@ -17,7 +19,7 @@ different pairs means a correctness change, not noise.
 
 Usage::
 
-    python benchmarks/trajectory.py --out BENCH_PR5.json
+    python benchmarks/trajectory.py --out BENCH_PR6.json
     python benchmarks/trajectory.py --scale smoke --quick   # CI-less dry run
 """
 
@@ -52,6 +54,14 @@ SERVE_PROBES = 100
 #: The serve workload must beat rebuild-per-query by this factor on the
 #: medium workload; below it the script warns (or fails with --strict).
 MIN_SERVE_SPEEDUP = 5.0
+
+#: Shard counts tracked for the scatter-gather serving tier (two points
+#: minimum, so the trajectory records fan-out scaling, not one sample).
+SERVE_LOAD_SHARDS = (1, 2, 4)
+
+#: Batches issued / kept in flight per serve_load shard count.
+SERVE_LOAD_PROBES = 40
+SERVE_LOAD_CONCURRENCY = 8
 
 
 def run_figures(scale, backend: str | None) -> list[dict]:
@@ -140,6 +150,56 @@ def run_repeated_probe(scale, backend: str | None) -> tuple[list[dict], list[str
     return rows, warnings
 
 
+def run_serve_load(scale, backend: str | None) -> list[dict]:
+    """The sharded tier: one row per shard count, parity-asserted.
+
+    ``seconds`` is the concurrent wall-clock of the whole batch set;
+    qps and the latency percentiles ride in the row's extra keys (the
+    comparison gate only reads ``seconds`` / ``pairs``, so the schema
+    stays stable).
+    """
+    from repro.serving import run_scatter_workload
+
+    rows: list[dict] = []
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    dataset_a, dataset_b = synthetic_pair("uniform", scale.large_a, n_b, scale)
+    overrides = {"backend": backend} if backend else {}
+    resolved = backend or "auto"
+    for shards in SERVE_LOAD_SHARDS:
+        summary = run_scatter_workload(
+            list(dataset_a),
+            list(dataset_b),
+            scale.large_epsilon,
+            algorithm="TOUCH",
+            shards=shards,
+            probes=SERVE_LOAD_PROBES,
+            concurrency=SERVE_LOAD_CONCURRENCY,
+            **overrides,
+        )
+        workload = (
+            f"serve_load/uniform/a{scale.large_a}-b{n_b}"
+            f"/eps{scale.large_epsilon:g}/shards{shards}"
+        )
+        rows.append(
+            {
+                "algorithm": summary["algorithm"],
+                "backend": resolved,
+                "workload": workload,
+                "seconds": summary["serve_seconds"],
+                "pairs": summary["result_pairs"],
+                "qps": summary["qps"],
+                "p50_ms": summary["p50_ms"],
+                "p99_ms": summary["p99_ms"],
+            }
+        )
+        print(
+            f"  {summary['algorithm']:14s} {workload:42s} "
+            f"{summary['qps']:7.1f} qps  p50 {summary['p50_ms']:.2f} ms  "
+            f"p99 {summary['p99_ms']:.2f} ms (parity asserted)"
+        )
+    return rows
+
+
 def previous_point(
     root: Path, out: Path, current_pr: int | None
 ) -> "tuple[str, dict] | None":
@@ -204,7 +264,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
     parser.add_argument("--backend", default=None, help="geometry backend override")
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_PR5.json"), help="trajectory point to write"
+        "--out", type=Path, default=Path("BENCH_PR6.json"), help="trajectory point to write"
     )
     parser.add_argument(
         "--compare-root",
@@ -228,7 +288,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="skip the repeated_probe serve workload (fast smoke of the runner)",
+        help="skip the repeated_probe and serve_load workloads (fast "
+        "smoke of the runner)",
     )
     parser.add_argument(
         "--strict",
@@ -245,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
         probe_rows, probe_warnings = run_repeated_probe(scale, args.backend)
         rows.extend(probe_rows)
         warnings.extend(probe_warnings)
+        rows.extend(run_serve_load(scale, args.backend))
 
     point = {
         "schema": "bench-trajectory/v1",

@@ -94,9 +94,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve",
         help="drive the build-once/probe-many query service on a "
-        "repeated-query workload",
+        "repeated-query workload (add --shards for the scatter-gather "
+        "tier, --port to keep serving)",
     )
     serve.add_argument("--scale", choices=sorted(SCALES), default=None)
+    serve.add_argument(
+        "--dataset",
+        default=None,
+        metavar="NAME",
+        help="named workload dataset (uniform | gaussian | clustered | "
+        "neuro); unknown names list the registry instead of crashing",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve through N shard-worker processes with scatter-gather "
+        "probe routing (omit for the single-process service)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        metavar="C",
+        help="probe batches kept in flight against the sharded tier",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="P",
+        help="after loading the dataset, keep serving the JSON-lines "
+        "protocol on this port until interrupted (implies --shards 2 "
+        "unless given)",
+    )
     serve.add_argument(
         "--algorithm",
         default="TOUCH",
@@ -125,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--epsilon", type=float, default=None, help="distance threshold (default: scale's eps)"
+    )
+    serve.add_argument(
+        "--shard-layout",
+        choices=DECOMPOSE_KINDS,
+        default="slabs",
+        help="universe cutting for --shards: contiguous 1-D slabs or a "
+        "2-D tile grid",
     )
     serve.add_argument("--backend", **backend_kwargs)
     serve.add_argument(
@@ -204,21 +243,105 @@ def _cmd_all(
     return 0
 
 
+def _serve_forever(service, dataset_name: str, port: int) -> int:
+    """Keep a sharded tier answering the JSON-lines protocol on a port."""
+    import asyncio
+    import time
+
+    from repro.serving.router import serve_front
+
+    server = asyncio.run_coroutine_threadsafe(
+        serve_front(service.router, port=port), service._loop
+    ).result()
+    host, bound_port = server.sockets[0].getsockname()[:2]
+    print(
+        f"serving dataset {dataset_name!r} on {host}:{bound_port} "
+        f"({service.cluster.shards} shards) — Ctrl-C to stop"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_serve_sharded(args, dataset_a, dataset_b, epsilon, overrides) -> int:
+    """Scatter-gather path of ``serve``: boot shards, drive or listen."""
+    import json
+
+    from repro.serving import ShardedQueryService, run_scatter_workload
+
+    shards = args.shards or 2
+    if args.port is not None:
+        with ShardedQueryService(
+            shards=shards, kind=args.shard_layout, backend=args.backend
+        ) as service:
+            service.register(args.dataset or args.distribution, list(dataset_a))
+            return _serve_forever(
+                service, args.dataset or args.distribution, args.port
+            )
+    summary = run_scatter_workload(
+        list(dataset_a),
+        list(dataset_b),
+        epsilon,
+        algorithm=args.algorithm,
+        shards=shards,
+        kind=args.shard_layout,
+        probes=args.probes,
+        batch=args.batch,
+        concurrency=args.concurrency,
+        **overrides,
+    )
+    print(
+        f"== sharded query service: {summary['algorithm']} x {shards} shards "
+        f"({summary['kind']}, eps={epsilon}) =="
+    )
+    print(
+        f"   {summary['n_build']} build objects -> {summary['replicas']} shard "
+        f"replicas; {summary['probes']} batches of {summary['batch']} at "
+        f"concurrency {summary['concurrency']}"
+    )
+    print(
+        f"   {summary['result_pairs']} pairs, {summary['qps']:.1f} qps, "
+        f"p50 {summary['p50_ms']:.2f} ms, p99 {summary['p99_ms']:.2f} ms, "
+        f"avg fan-out {summary['fanout_avg']:.2f} shards/probe"
+    )
+    if summary.get("parity"):
+        print("   pair parity vs single-process service: asserted on every batch")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(summary, indent=2, default=str))
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Run a repeated-query workload through the query service."""
     import json
 
     from repro.bench.config import current_scale
-    from repro.bench.workloads import synthetic_pair
-    from repro.service.driver import run_serve_workload
+    from repro.bench.workloads import named_pair
 
     scale = current_scale(args.scale)
-    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
-    dataset_a, dataset_b = synthetic_pair(
-        args.distribution, scale.large_a, n_b, scale
-    )
+    try:
+        dataset_a, dataset_b = named_pair(
+            args.dataset or args.distribution, scale
+        )
+    except KeyError as exc:
+        # The registry names the known datasets; surface that instead of
+        # the historical bare traceback, with a non-zero exit.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     epsilon = args.epsilon if args.epsilon is not None else scale.large_epsilon
     overrides = {"backend": args.backend} if args.backend else {}
+    if args.shards is not None or args.port is not None:
+        return _cmd_serve_sharded(args, dataset_a, dataset_b, epsilon, overrides)
+
+    from repro.service.driver import run_serve_workload
+
     summary = run_serve_workload(
         dataset_a,
         dataset_b,
@@ -230,8 +353,9 @@ def _cmd_serve(args) -> int:
         **overrides,
     )
     print(
-        f"== query service: {summary['algorithm']} on {args.distribution} "
-        f"(scale={scale.name}, eps={epsilon}) =="
+        f"== query service: {summary['algorithm']} on "
+        f"{args.dataset or args.distribution} (scale={scale.name}, "
+        f"eps={epsilon}) =="
     )
     print(
         f"   indexed {summary['n_build']} objects once "

@@ -26,9 +26,17 @@ Select a scale with the ``REPRO_SCALE`` environment variable
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-__all__ = ["Scale", "SCALES", "current_scale", "DEFAULT_SCALE"]
+__all__ = [
+    "Scale",
+    "SCALES",
+    "current_scale",
+    "DEFAULT_SCALE",
+    "RunOptions",
+    "env_choice",
+    "env_int",
+]
 
 DEFAULT_SCALE = "small"
 
@@ -145,6 +153,163 @@ SCALES: dict[str, Scale] = {
         neuro_neurons=12_000,
     ),
 }
+
+
+# --------------------------------------------------------------------------
+# Execution options (the consolidated run_algorithm front door)
+# --------------------------------------------------------------------------
+def env_choice(name: str, choices: tuple[str, ...]) -> str | None:
+    """Read an enumerated environment variable, or fail naming it.
+
+    Junk values used to propagate deep into the engines before blowing
+    up with a context-free traceback; every ambient ``REPRO_*`` read now
+    validates here and raises a :class:`ValueError` that names the
+    variable and the accepted values.
+    """
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    if raw not in choices:
+        raise ValueError(
+            f"invalid {name}={raw!r}: expected one of {', '.join(choices)}"
+        )
+    return raw
+
+
+def env_int(name: str, minimum: int = 0) -> int | None:
+    """Read an integer environment variable, or fail naming it."""
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid {name}={raw!r}: expected an integer"
+        ) from None
+    if value < minimum:
+        raise ValueError(f"invalid {name}={raw!r}: must be >= {minimum}")
+    return value
+
+
+def _decompose_kinds() -> tuple[str, ...]:
+    # Imported lazily: config must stay importable without dragging the
+    # engine modules (and numpy) in.
+    from repro.parallel.decompose import DECOMPOSE_KINDS
+
+    return tuple(DECOMPOSE_KINDS)
+
+
+def _backend_names() -> tuple[str, ...]:
+    from repro.geometry.columnar import BACKENDS
+
+    return tuple(BACKENDS)
+
+
+#: Valid values of the ``dedup`` execution option.
+DEDUP_MODES = ("reference", "partition")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution options of one :func:`repro.bench.runner.run_algorithm` call.
+
+    The consolidated front door replacing the historical sprawl of
+    ``workers=`` / ``decompose=`` / ``dedup=`` / ``reuse_index=`` call
+    kwargs and the ``REPRO_WORKERS`` / ``REPRO_DECOMPOSE`` /
+    ``REPRO_DEDUP`` / ``REPRO_BACKEND`` ambient environment variables.
+    ``None`` means *unspecified* — the next precedence layer decides
+    (explicit call kwarg > options object > ambient scope/env > default).
+
+    Attributes
+    ----------
+    workers:
+        ``None`` defers to the ambient layer, ``0`` forces sequential
+        execution, ``>= 1`` routes the join through the multiprocess
+        :class:`~repro.parallel.engine.ParallelChunkedJoin`.
+    decompose:
+        Universe cutting for the multiprocess engine (``"slabs"`` |
+        ``"tiles"``; engine default ``"slabs"``).
+    dedup:
+        Boundary-duplicate policy (``"reference"`` | ``"partition"``;
+        engine default ``"reference"``).
+    backend:
+        Geometry backend forwarded to backend-aware algorithms
+        (``"object"`` | ``"columnar"`` | ``"auto"``).
+    reuse_index:
+        Route the join through the build-once/probe-many query service:
+        ``True`` for the process-wide default service, a live
+        :class:`~repro.service.SpatialQueryService` for a private one,
+        ``False`` for a one-shot join.  Not environment-settable.
+    """
+
+    workers: int | None = None
+    decompose: str | None = None
+    dedup: str | None = None
+    backend: str | None = None
+    reuse_index: "bool | object | None" = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.decompose is not None and self.decompose not in _decompose_kinds():
+            raise ValueError(
+                f"unknown decompose kind {self.decompose!r}; expected one of "
+                f"{', '.join(_decompose_kinds())}"
+            )
+        if self.dedup is not None and self.dedup not in DEDUP_MODES:
+            raise ValueError(
+                f"unknown dedup mode {self.dedup!r}; expected one of "
+                f"{', '.join(DEDUP_MODES)}"
+            )
+        if self.backend is not None and self.backend not in _backend_names():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{', '.join(_backend_names())}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "RunOptions":
+        """The options encoded in the ``REPRO_*`` environment variables.
+
+        ``REPRO_WORKERS=0`` (like an explicit ``workers=0``) reads as
+        sequential execution; unset variables stay ``None`` so higher
+        precedence layers and engine defaults apply.  Values are
+        validated eagerly with errors naming the variable.
+        """
+        workers = env_int("REPRO_WORKERS", minimum=0)
+        return cls(
+            workers=workers,
+            decompose=env_choice("REPRO_DECOMPOSE", _decompose_kinds()),
+            dedup=env_choice("REPRO_DEDUP", DEDUP_MODES),
+            backend=env_choice("REPRO_BACKEND", _backend_names()),
+        )
+
+    def over(self, base: "RunOptions") -> "RunOptions":
+        """Layer these options over ``base``: set fields win, ``None`` defers."""
+        updates = {
+            field: value
+            for field, value in (
+                ("workers", self.workers),
+                ("decompose", self.decompose),
+                ("dedup", self.dedup),
+                ("backend", self.backend),
+                ("reuse_index", self.reuse_index),
+            )
+            if value is not None
+        }
+        return replace(base, **updates) if updates else base
+
+    def describe(self) -> dict:
+        """The non-default fields, for reports and reprs."""
+        out = {}
+        for field in ("workers", "decompose", "dedup", "backend"):
+            value = getattr(self, field)
+            if value is not None:
+                out[field] = value
+        if self.reuse_index:
+            out["reuse_index"] = True
+        return out
 
 
 def current_scale(name: str | None = None) -> Scale:

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.bench.config import Scale, current_scale
+from repro.bench.config import RunOptions, Scale, current_scale
 from repro.bench.runner import (
     RunRecord,
     current_backend,
@@ -526,7 +526,8 @@ def experiment_parallel_scaling(scale: Scale) -> ExperimentResult:
     n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
     dataset_a, dataset_b = synthetic_pair("uniform", scale.large_a, n_b, scale)
     baseline = run_algorithm(
-        "TOUCH", dataset_a, dataset_b, scale.large_epsilon, workers=0
+        "TOUCH", dataset_a, dataset_b, scale.large_epsilon,
+        options=RunOptions(workers=0),
     )
     out.add(baseline, engine="sequential", workers=0, speedup=1.0)
     for decompose in ("slabs", "tiles"):
@@ -536,8 +537,7 @@ def experiment_parallel_scaling(scale: Scale) -> ExperimentResult:
                 dataset_a,
                 dataset_b,
                 scale.large_epsilon,
-                workers=workers,
-                decompose=decompose,
+                options=RunOptions(workers=workers, decompose=decompose),
             )
             if record.result_pairs != baseline.result_pairs:
                 raise AssertionError(
@@ -663,6 +663,93 @@ def experiment_repeated_probe(scale: Scale) -> ExperimentResult:
     return out
 
 
+#: Shard counts swept by the serve_load experiment (1 = scatter-gather
+#: machinery over a single worker, the overhead floor).
+SERVE_LOAD_SHARDS = (1, 2, 4)
+
+#: Query batches issued per shard count, and how many fly concurrently.
+SERVE_LOAD_PROBES = 40
+SERVE_LOAD_CONCURRENCY = 8
+
+
+def experiment_serve_load(scale: Scale) -> ExperimentResult:
+    """Concurrent scatter-gather serving: qps and tail latency per shard count.
+
+    The Figure-9 uniform pair is served through the sharded tier
+    (:mod:`repro.serving`) at each :data:`SERVE_LOAD_SHARDS` count:
+    build side sharded by the slab cutting, probe batches fanned out
+    concurrently and merged scatter-gather.  Every batch's pair set is
+    hard-asserted against the single-process service inside the load
+    generator, so the qps / p50 / p99 rows can never hide dropped
+    pairs.  One row per shard count lands in the benchmark trajectory.
+    """
+    out = ExperimentResult(
+        "serve_load",
+        "Sharded serving tier: throughput and tail latency vs shard count",
+        notes=(
+            "The ROADMAP north star is serving heavy traffic: N shard "
+            "workers each own a spatial cut of the build dataset "
+            "(two-layer masks keep merges duplicate-free) and an asyncio "
+            "router scatter-gathers every probe to its overlapping "
+            "shards only.  Parity vs the single-process service is "
+            "asserted on every batch."
+        ),
+        scale=scale.name,
+    )
+    from repro.serving import run_scatter_workload
+
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    dataset_a, dataset_b = synthetic_pair("uniform", scale.large_a, n_b, scale)
+    ambient = current_backend()
+    overrides = {"backend": ambient} if ambient else {}
+    for shards in SERVE_LOAD_SHARDS:
+        summary = run_scatter_workload(
+            list(dataset_a),
+            list(dataset_b),
+            scale.large_epsilon,
+            algorithm="TOUCH",
+            shards=shards,
+            probes=SERVE_LOAD_PROBES,
+            concurrency=SERVE_LOAD_CONCURRENCY,
+            **overrides,
+        )
+        out.add(
+            RunRecord(
+                algorithm=summary["algorithm"],
+                dataset=dataset_a.name,
+                n_a=len(dataset_a),
+                n_b=n_b,
+                epsilon=scale.large_epsilon,
+                result_pairs=summary["result_pairs"],
+                comparisons=0,
+                node_tests=0,
+                filtered=0,
+                replicated_entries=summary["replicas"] - len(dataset_a),
+                duplicates_suppressed=0,
+                dedup_checks=0,
+                memory_bytes=0,
+                build_seconds=summary["build_seconds"],
+                assign_seconds=0.0,
+                join_seconds=0.0,
+                total_seconds=summary["serve_seconds"],
+                extra={
+                    "mode": "sharded",
+                    "shards": shards,
+                    "probes": summary["probes"],
+                    "batch": summary["batch"],
+                    "concurrency": summary["concurrency"],
+                    "qps": summary["qps"],
+                    "p50_ms": summary["p50_ms"],
+                    "p99_ms": summary["p99_ms"],
+                    "max_ms": summary["max_ms"],
+                    "fanout_avg": summary["fanout_avg"],
+                    "parity": summary.get("parity", False),
+                },
+            )
+        )
+    return out
+
+
 #: experiment id → definition, in paper order.
 EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "table1": experiment_table1,
@@ -683,6 +770,7 @@ EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "two_layer": experiment_two_layer,
     "parallel_scaling": experiment_parallel_scaling,
     "repeated_probe": experiment_repeated_probe,
+    "serve_load": experiment_serve_load,
 }
 
 

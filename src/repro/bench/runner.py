@@ -9,10 +9,11 @@ The outcome is a flat :class:`RunRecord` convenient for tabulation.
 from __future__ import annotations
 
 import contextlib
-import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.bench.config import RunOptions, env_choice, env_int
 from repro.datasets.base import Dataset
 from repro.datasets.transform import inflate
 from repro.joins.base import JoinResult
@@ -20,11 +21,13 @@ from repro.joins.registry import AlgorithmSpec, make_algorithm
 
 __all__ = [
     "RunRecord",
+    "RunOptions",
     "run_algorithm",
     "use_backend",
     "current_backend",
     "use_parallel",
     "current_parallel",
+    "current_options",
 ]
 
 #: Ambient geometry-backend selection for backend sweeps.  ``None``
@@ -42,38 +45,10 @@ _ACTIVE_BACKEND: str | None = None
 _ACTIVE_PARALLEL: tuple[int, str, str] | None = None
 
 
-def _env_choice(name: str, choices: tuple[str, ...]) -> str | None:
-    """Read an enumerated environment variable, or fail naming it.
-
-    Junk values used to propagate deep into the engines before blowing
-    up with a context-free traceback; every ambient ``REPRO_*`` read now
-    validates here and raises a :class:`ValueError` that names the
-    variable and the accepted values.
-    """
-    raw = os.environ.get(name)
-    if not raw:
-        return None
-    if raw not in choices:
-        raise ValueError(
-            f"invalid {name}={raw!r}: expected one of {', '.join(choices)}"
-        )
-    return raw
-
-
-def _env_int(name: str, minimum: int = 0) -> int | None:
-    """Read an integer environment variable, or fail naming it."""
-    raw = os.environ.get(name)
-    if not raw:
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"invalid {name}={raw!r}: expected an integer"
-        ) from None
-    if value < minimum:
-        raise ValueError(f"invalid {name}={raw!r}: must be >= {minimum}")
-    return value
+# Environment parsing lives in repro.bench.config next to RunOptions;
+# the historical private names stay importable for callers that used them.
+_env_choice = env_choice
+_env_int = env_int
 
 
 def current_backend() -> str | None:
@@ -138,6 +113,26 @@ def use_parallel(
         yield
     finally:
         _ACTIVE_PARALLEL = previous
+
+
+def current_options() -> RunOptions:
+    """The ambient execution options: scoped overrides first, then env.
+
+    One :class:`~repro.bench.config.RunOptions` view over the
+    :func:`use_backend` / :func:`use_parallel` scopes and the
+    ``REPRO_WORKERS`` / ``REPRO_DECOMPOSE`` / ``REPRO_DEDUP`` /
+    ``REPRO_BACKEND`` environment variables — the lowest precedence
+    layer of :func:`run_algorithm` (explicit call kwargs and an explicit
+    ``options=`` object both win over it).
+    """
+    parallel = current_parallel()
+    backend = current_backend()
+    if parallel is None:
+        return RunOptions(backend=backend)
+    workers, decompose, dedup = parallel
+    return RunOptions(
+        workers=workers, decompose=decompose, dedup=dedup, backend=backend
+    )
 
 
 @dataclass
@@ -231,59 +226,107 @@ def record_from_result(
     )
 
 
+def _legacy_overlay(
+    workers: int | None,
+    decompose: str | None,
+    dedup: str | None,
+    reuse_index: "bool | object | None",
+) -> RunOptions | None:
+    """The deprecation shim for the pre-RunOptions call kwargs.
+
+    Historical calls spelled the engine selection as individual kwargs
+    (``workers=2, decompose="tiles"``); they keep working — with a
+    :class:`DeprecationWarning` — by folding into the highest-precedence
+    :class:`~repro.bench.config.RunOptions` layer.  ``reuse_index=False``
+    was the old default, so a literal ``False`` (unlike ``workers=0``,
+    which explicitly forces sequential execution) reads as *unspecified*
+    rather than as an override.
+    """
+    provided = {}
+    if workers is not None:
+        provided["workers"] = workers
+    if decompose is not None:
+        provided["decompose"] = decompose
+    if dedup is not None:
+        provided["dedup"] = dedup
+    if reuse_index:
+        provided["reuse_index"] = reuse_index
+    if not provided:
+        return None
+    warnings.warn(
+        f"run_algorithm({', '.join(sorted(provided))}=...) kwargs are "
+        "deprecated; pass options=RunOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunOptions(**provided)
+
+
 def run_algorithm(
     algorithm_name: str,
     dataset_a: Dataset | Sequence,
     dataset_b: Dataset | Sequence,
     epsilon: float,
+    options: RunOptions | None = None,
     workers: int | None = None,
     decompose: str | None = None,
     dedup: str | None = None,
-    reuse_index: "bool | object" = False,
+    reuse_index: "bool | object | None" = None,
     **algorithm_overrides,
 ) -> RunRecord:
     """Execute one distance join per the paper's methodology.
 
     The build side A is inflated by ε (the ε-reduction of §4); the probe
     side B is joined as is.  ``algorithm_overrides`` are forwarded to the
-    registry factory (e.g. ``fanout=8`` for the fanout sweep).  An
-    ambient backend (:func:`use_backend` / ``REPRO_BACKEND``) is applied
-    unless the call passes its own ``backend``.
+    registry factory (e.g. ``fanout=8`` for the fanout sweep).
 
-    ``workers`` selects the execution engine: ``None`` defers to the
-    ambient :func:`use_parallel` / ``REPRO_WORKERS`` setting, ``0``
-    forces sequential execution, and ``>= 1`` runs the algorithm through
-    the multiprocess :class:`~repro.parallel.engine.ParallelChunkedJoin`
-    over a ``decompose`` (``slabs`` | ``tiles``) cutting with a
-    ``dedup`` (``reference`` | ``partition``) boundary-duplicate policy.
+    Execution is selected by one :class:`~repro.bench.config.RunOptions`
+    resolved across three precedence layers — explicit call kwargs, then
+    the ``options`` object, then the ambient scopes/environment
+    (:func:`current_options`):
 
-    ``reuse_index`` routes the join through the build-once/probe-many
-    query service instead: pass ``True`` for the process-wide
-    :func:`repro.service.default_service` or a live
-    :class:`~repro.service.SpatialQueryService`.  Repeated calls with
-    the same (dataset A, algorithm, config, backend, ε) probe a cached
-    index (``extra["cache"]`` reports ``"warm"`` / ``"cold"``); the
-    multiprocess engine cannot be combined with it.
+    - ``options.workers``: ``0`` forces sequential execution; ``>= 1``
+      runs the algorithm through the multiprocess
+      :class:`~repro.parallel.engine.ParallelChunkedJoin` over an
+      ``options.decompose`` (``slabs`` | ``tiles``) cutting with an
+      ``options.dedup`` (``reference`` | ``partition``)
+      boundary-duplicate policy;
+    - ``options.backend`` feeds backend-aware algorithms unless the call
+      passes its own ``backend=`` override;
+    - ``options.reuse_index`` routes the join through the
+      build-once/probe-many query service instead: ``True`` for the
+      process-wide :func:`repro.service.default_service` or a live
+      :class:`~repro.service.SpatialQueryService`.  Repeated calls with
+      the same (dataset A, algorithm, config, backend, ε) probe a
+      cached index (``extra["cache"]`` reports ``"warm"`` / ``"cold"``);
+      the multiprocess engine cannot be combined with it.
+
+    The individual ``workers=`` / ``decompose=`` / ``dedup=`` /
+    ``reuse_index=`` kwargs are a deprecated spelling of the same
+    options (they win over ``options``, and warn).
     """
-    ambient = current_backend()
-    if ambient is not None and "backend" not in algorithm_overrides:
-        algorithm_overrides = {**algorithm_overrides, "backend": ambient}
-    if reuse_index:
-        if workers:
+    resolved = (options or RunOptions()).over(current_options())
+    legacy = _legacy_overlay(workers, decompose, dedup, reuse_index)
+    if legacy is not None:
+        resolved = legacy.over(resolved)
+    if resolved.backend is not None and "backend" not in algorithm_overrides:
+        algorithm_overrides = {**algorithm_overrides, "backend": resolved.backend}
+    if resolved.reuse_index:
+        if resolved.workers:
             raise ValueError(
                 "reuse_index joins run through the in-process query service "
                 "and cannot be combined with the multiprocess engine "
-                f"(workers={workers})"
+                f"(workers={resolved.workers})"
             )
         # Imported lazily, like the parallel engine below.
         from repro.service import SpatialQueryService, default_service
 
         service = (
-            reuse_index
-            if isinstance(reuse_index, SpatialQueryService)
+            resolved.reuse_index
+            if isinstance(resolved.reuse_index, SpatialQueryService)
             else default_service()
         )
-        result = service.query(
+        result = service.probe(
             list(dataset_a),
             list(dataset_b),
             epsilon,
@@ -301,13 +344,7 @@ def run_algorithm(
             "build_seconds", 0.0
         )
         return record
-    if workers is None:
-        ambient_parallel = current_parallel()
-        if ambient_parallel is not None:
-            workers, ambient_decompose, ambient_dedup = ambient_parallel
-            decompose = decompose or ambient_decompose
-            dedup = dedup or ambient_dedup
-    if workers:
+    if resolved.workers:
         # Imported lazily: repro.parallel pulls in multiprocessing
         # machinery the sequential harness never needs.
         from repro.parallel.engine import ParallelChunkedJoin
@@ -315,9 +352,9 @@ def run_algorithm(
         spec = AlgorithmSpec.create(algorithm_name, **algorithm_overrides)
         algorithm = ParallelChunkedJoin(
             spec,
-            workers=workers,
-            kind=decompose or "slabs",
-            dedup=dedup or "reference",
+            workers=resolved.workers,
+            kind=resolved.decompose or "slabs",
+            dedup=resolved.dedup or "reference",
         )
     else:
         algorithm = make_algorithm(algorithm_name, **algorithm_overrides)

@@ -17,7 +17,9 @@ from repro.datasets.synthetic import make_distribution
 __all__ = [
     "synthetic_pair",
     "neuro_pair",
+    "named_pair",
     "LARGE_DISTRIBUTIONS",
+    "WORKLOAD_DATASETS",
     "FIG8_ALGORITHMS",
     "LARGE_ALGORITHMS",
 ]
@@ -56,6 +58,31 @@ def synthetic_pair(
     dataset_a = _synthetic(distribution, n_a, scale.seed, space)
     dataset_b = _synthetic(distribution, n_b, scale.seed + 1, space)
     return dataset_a, dataset_b
+
+
+#: Dataset names accepted by ``repro-touch serve --dataset`` and
+#: :func:`named_pair`: the three synthetic distributions plus the
+#: neuroscience model.
+WORKLOAD_DATASETS = LARGE_DISTRIBUTIONS + ("neuro",)
+
+
+def named_pair(name: str, scale: Scale) -> tuple[Dataset, Dataset]:
+    """The (build, probe) dataset pair registered under ``name``.
+
+    Synthetic names use the scale's large-workload cardinalities (A
+    fixed, B at the middle sweep step); ``"neuro"`` is the (axons,
+    dendrites) pair.  Raises :class:`KeyError` naming the known datasets
+    for anything else — callers (the serve CLI) surface that list
+    instead of a traceback.
+    """
+    if name in LARGE_DISTRIBUTIONS:
+        n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+        return synthetic_pair(name, scale.large_a, n_b, scale)
+    if name == "neuro":
+        return neuro_pair(scale)
+    raise KeyError(
+        f"unknown dataset {name!r}; known: {', '.join(WORKLOAD_DATASETS)}"
+    )
 
 
 @lru_cache(maxsize=8)

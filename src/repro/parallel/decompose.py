@@ -34,6 +34,7 @@ did not own.
 
 from __future__ import annotations
 
+import itertools
 import math
 from bisect import bisect_right
 from dataclasses import dataclass
@@ -317,6 +318,30 @@ class Decomposition:
     def owns(self, region: Region, mbr_a: MBR, mbr_b: MBR) -> bool:
         """Does ``region`` own the pair under the reference-point rule?"""
         return self.owner_index(mbr_a, mbr_b) == region.index
+
+    # -- routing -------------------------------------------------------
+    def covering_indices(self, mbr: MBR) -> list[int]:
+        """Flat indices of every region the MBR covers (routing rule).
+
+        The per-axis interval range is ``[owner_cell(lo), owner_cell(hi)]``
+        — exactly the membership rule of :meth:`covers`, enumerated once
+        for the whole decomposition instead of tested region by region.
+        The sharded serving tier routes each probe MBR to precisely these
+        shards; :meth:`covers` remains the per-region oracle the tests
+        pin this enumeration against.
+        """
+        ranges = []
+        for coordinate, axis in enumerate(self.axes):
+            lo_cell = self.owner_cell(coordinate, mbr.lo[axis])
+            hi_cell = self.owner_cell(coordinate, mbr.hi[axis])
+            ranges.append(range(lo_cell, hi_cell + 1))
+        flats: list[int] = []
+        for cells in itertools.product(*ranges):
+            flat = 0
+            for coordinate, cell in enumerate(cells):
+                flat = flat * self.shape[coordinate] + cell
+            flats.append(flat)
+        return flats
 
     # -- the two-layer classification ----------------------------------
     def covers(self, region: Region, mbr: MBR) -> bool:

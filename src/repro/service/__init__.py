@@ -7,8 +7,10 @@ The subsystem that turns the batch reproduction into a servable engine
 - :mod:`repro.service.cache` — thread-safe LRU of built indexes keyed
   by (fingerprint, algorithm, config, backend, ε);
 - :mod:`repro.service.service` — :class:`SpatialQueryService`: named
-  datasets, cached ``prepare``/``probe`` lifecycles, batch MBR probes,
-  warm/cold counters;
+  datasets, cached ``prepare``/``probe`` lifecycles, one ``probe()``
+  entry point for every probe shape (object batches, raw MBR batches,
+  a single MBR, coordinate tables; ``query``/``probe_mbrs`` remain as
+  aliases), warm/cold counters;
 - :mod:`repro.service.driver` — the repeated-query workload loop behind
   ``repro-touch serve`` and the ``repeated_probe`` experiment.
 """

@@ -90,19 +90,30 @@ class SpatialQueryService:
         return objects, dataset_fingerprint(objects)
 
     # -- queries -------------------------------------------------------
-    def query(
+    def probe(
         self,
         dataset: "str | Sequence[SpatialObject]",
-        probe: "Sequence[SpatialObject] | CoordinateTable",
+        probe: "MBR | Iterable[MBR] | Sequence[SpatialObject] | CoordinateTable",
         epsilon: float,
         algorithm: str = "TOUCH",
         **config,
     ) -> JoinResult:
         """Distance-join ``probe`` against a (cached) index over ``dataset``.
 
-        ``dataset`` is a registered name or an ad-hoc object sequence;
-        ``probe`` is an object sequence, a :class:`Dataset` or a raw
-        :class:`~repro.geometry.columnar.CoordinateTable` of query MBRs.
+        The unified probe front door.  ``dataset`` is a registered name
+        or an ad-hoc object sequence; ``probe`` is any of
+
+        - a single :class:`~repro.geometry.mbr.MBR`,
+        - a batch of MBRs (any iterable; dispatch looks at the first
+          element, so don't mix MBRs and objects in one batch),
+        - a probe dataset: an object sequence, a :class:`Dataset`, or a
+          raw :class:`~repro.geometry.columnar.CoordinateTable`.
+
+        MBR probes flow through the vectorised columnar probe kernels
+        (object fallback without numpy) and their result pairs are
+        ``(build oid, query position)`` with positions numbered 0..M-1
+        in batch order; object probes pair ``(build oid, probe oid)``.
+
         Per the paper's ε-reduction the *build* side is inflated by
         ``epsilon`` before indexing, so each distinct ε keys its own
         index.  ``config`` is forwarded to the registry factory
@@ -112,6 +123,14 @@ class SpatialQueryService:
         ``parameters["cache"]`` (``"warm"`` | ``"cold"``) and
         ``parameters["build_seconds"]`` of the underlying index.
         """
+        if isinstance(probe, MBR):
+            probe = self._mbr_batch([probe])
+        elif not isinstance(probe, (Dataset, CoordinateTable)):
+            items = list(probe)
+            if items and isinstance(items[0], MBR):
+                probe = self._mbr_batch(items)
+            else:
+                probe = items
         if epsilon < 0:
             raise ValueError(f"epsilon must be non-negative, got {epsilon}")
         objects, fingerprint = self._resolve(dataset)
@@ -149,6 +168,25 @@ class SpatialQueryService:
         }
         return result
 
+    @staticmethod
+    def _mbr_batch(boxes: "list[MBR]") -> "CoordinateTable | list[SpatialObject]":
+        """One probe batch from raw MBRs (columnar when numpy is around)."""
+        if HAVE_NUMPY:
+            return CoordinateTable.from_mbrs(boxes)
+        return [SpatialObject(i, box) for i, box in enumerate(boxes)]
+
+    # -- historical spellings (thin aliases over probe()) --------------
+    def query(
+        self,
+        dataset: "str | Sequence[SpatialObject]",
+        probe: "Sequence[SpatialObject] | CoordinateTable",
+        epsilon: float,
+        algorithm: str = "TOUCH",
+        **config,
+    ) -> JoinResult:
+        """Alias for :meth:`probe` with a probe dataset (historical name)."""
+        return self.probe(dataset, probe, epsilon, algorithm=algorithm, **config)
+
     def probe_mbrs(
         self,
         dataset: "str | Sequence[SpatialObject]",
@@ -157,23 +195,11 @@ class SpatialQueryService:
         algorithm: str = "TOUCH",
         **config,
     ) -> JoinResult:
-        """Batch-probe raw query MBRs against a cached index.
-
-        The batch becomes one coordinate table that flows through the
-        vectorised columnar probe kernels (object fallback without
-        numpy).  Result pairs are ``(build oid, query position)`` with
-        positions numbered 0..M-1 in batch order.
-        """
+        """Alias for :meth:`probe` with a raw MBR batch (historical name)."""
         boxes = list(mbrs)
         if not boxes:
             raise ValueError("probe_mbrs requires at least one query MBR")
-        if HAVE_NUMPY:
-            batch: "CoordinateTable | list[SpatialObject]" = (
-                CoordinateTable.from_mbrs(boxes)
-            )
-        else:
-            batch = [SpatialObject(i, box) for i, box in enumerate(boxes)]
-        return self.query(dataset, batch, epsilon, algorithm=algorithm, **config)
+        return self.probe(dataset, boxes, epsilon, algorithm=algorithm, **config)
 
     # -- introspection -------------------------------------------------
     def stats(self) -> dict:

@@ -1,0 +1,43 @@
+"""Sharded async serving tier over the build-once/probe-many service.
+
+ROADMAP item 1: an asyncio front-end in front of N worker processes,
+each owning one spatial shard of every registered dataset, with probes
+routed only to overlapping shards and merged scatter-gather — exactly
+duplicate-free thanks to the two-layer ownership masks the parallel
+engine already uses (see ``docs/serving.md``):
+
+- :mod:`repro.serving.shards` — shard membership + probe routing
+  (:class:`ShardMap`) on the shared slab/tile decomposition;
+- :mod:`repro.serving.protocol` — newline-delimited JSON frames over
+  asyncio streams (stdlib-only, no HTTP stack);
+- :mod:`repro.serving.worker` — the shard-worker process: a private
+  :class:`~repro.service.SpatialQueryService` behind an asyncio
+  endpoint, filtering pairs by ownership mask;
+- :mod:`repro.serving.cluster` — process topology (spawn, ready
+  handshake, graceful shutdown);
+- :mod:`repro.serving.router` — the async scatter-gather
+  :class:`ShardRouter`, the synchronous :class:`ShardedQueryService`
+  facade (same surface as the single-process service), and the
+  ``repro-touch serve --shards N --port P`` front-end;
+- :mod:`repro.serving.loadgen` — the measured concurrent workload
+  behind the ``serve_load`` experiment (qps, p50/p99, parity-asserted).
+"""
+
+from repro.serving.cluster import ServingCluster
+from repro.serving.loadgen import percentile, run_scatter_workload
+from repro.serving.protocol import ProtocolError, RemoteError, SyncConnection
+from repro.serving.router import ShardedQueryService, ShardRouter, serve_front
+from repro.serving.shards import ShardMap
+
+__all__ = [
+    "ProtocolError",
+    "RemoteError",
+    "ServingCluster",
+    "ShardMap",
+    "ShardRouter",
+    "ShardedQueryService",
+    "SyncConnection",
+    "percentile",
+    "run_scatter_workload",
+    "serve_front",
+]

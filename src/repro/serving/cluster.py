@@ -1,0 +1,132 @@
+"""Process topology of the serving tier: spawn/stop N shard workers.
+
+:class:`ServingCluster` owns the ``multiprocessing`` side of the tier —
+it spawns one :func:`~repro.serving.worker.run_shard_worker` process per
+shard (fork-preferred, like the parallel join engine), waits for each
+worker's ``("ready", port)`` handshake over a private pipe, and exposes
+the resulting loopback endpoints for the router to connect to.
+
+Shutdown is cooperative first (a ``shutdown`` op over the wire lets the
+event loop drain in-flight responses), then escalates to
+``terminate()`` for any worker that does not exit in time.  Workers are
+daemonic, so an abandoned cluster cannot outlive its parent process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+
+from repro.parallel.engine import _default_start_method
+from repro.serving.protocol import SyncConnection
+from repro.serving.worker import run_shard_worker
+
+__all__ = ["ServingCluster"]
+
+#: Seconds to wait for each worker's ready handshake / graceful exit.
+HANDSHAKE_TIMEOUT = 60.0
+SHUTDOWN_TIMEOUT = 10.0
+
+
+class ServingCluster:
+    """N shard-worker processes with ready-handshaked endpoints.
+
+    Parameters
+    ----------
+    shards:
+        Worker-process count (>= 1), one spatial shard each.
+    backend:
+        Default geometry backend of every worker's local service.
+    capacity:
+        Per-worker index-cache capacity (LRU beyond it).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``.
+    host:
+        Interface the workers bind (loopback by default).
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        backend: str | None = None,
+        capacity: int = 8,
+        start_method: str | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.backend = backend
+        self.capacity = capacity
+        self.start_method = start_method or _default_start_method()
+        self.host = host
+        self.processes: list[multiprocessing.Process] = []
+        self.endpoints: list[tuple[str, int]] = []
+
+    @property
+    def running(self) -> bool:
+        return bool(self.processes)
+
+    def start(self) -> list[tuple[str, int]]:
+        """Spawn every worker; returns their ``(host, port)`` endpoints.
+
+        Raises :class:`RuntimeError` (after tearing down whatever did
+        come up) if any worker fails to hand back a bound port within
+        the handshake timeout.
+        """
+        if self.running:
+            return self.endpoints
+        context = multiprocessing.get_context(self.start_method)
+        try:
+            for index in range(self.shards):
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=run_shard_worker,
+                    args=(
+                        index,
+                        child_conn,
+                        self.host,
+                        self.backend,
+                        self.capacity,
+                    ),
+                    name=f"repro-shard-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self.processes.append(process)
+                if not parent_conn.poll(HANDSHAKE_TIMEOUT):
+                    raise RuntimeError(
+                        f"shard worker {index} did not report ready within "
+                        f"{HANDSHAKE_TIMEOUT:.0f}s"
+                    )
+                status, value = parent_conn.recv()
+                parent_conn.close()
+                if status != "ready":
+                    raise RuntimeError(f"shard worker {index} failed: {value}")
+                self.endpoints.append((self.host, value))
+        except BaseException:
+            self.stop()
+            raise
+        return self.endpoints
+
+    def stop(self) -> None:
+        """Graceful shutdown op per worker, then terminate stragglers."""
+        for host, port in self.endpoints:
+            with contextlib.suppress(Exception):
+                with SyncConnection(host, port, timeout=SHUTDOWN_TIMEOUT) as conn:
+                    conn.request({"op": "shutdown"})
+        for process in self.processes:
+            process.join(timeout=SHUTDOWN_TIMEOUT)
+            if process.is_alive():  # pragma: no cover - stuck-worker path
+                process.terminate()
+                process.join(timeout=SHUTDOWN_TIMEOUT)
+        self.processes = []
+        self.endpoints = []
+
+    def __enter__(self) -> "ServingCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,165 @@
+"""Serve-load generator: concurrent scatter-gather probes, measured.
+
+Drives a :class:`~repro.serving.router.ShardedQueryService` with the
+same batched probe workload the single-process ``repro-touch serve``
+driver plays, but issued *concurrently* (a bounded-parallelism asyncio
+client mix), and reports throughput and tail latency — the numbers the
+``serve_load`` experiment feeds into the benchmark trajectory
+(``BENCH_PR6.json``).
+
+Every batch's pair set is hard-asserted against the single-process
+:class:`~repro.service.SpatialQueryService` ground truth (unless
+disabled), so a qps/latency figure can never come from dropped or
+duplicated pairs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Sequence
+
+from repro.geometry.objects import SpatialObject
+from repro.service.driver import probe_batches
+from repro.service.service import SpatialQueryService
+from repro.serving.router import ShardedQueryService
+
+__all__ = ["percentile", "run_scatter_workload"]
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]) of a sample set."""
+    if not samples:
+        raise ValueError("cannot take a percentile of zero samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_scatter_workload(
+    dataset_a: Sequence[SpatialObject],
+    dataset_b: Sequence[SpatialObject],
+    epsilon: float,
+    algorithm: str = "TOUCH",
+    shards: int = 2,
+    kind: str = "slabs",
+    probes: int = 50,
+    batch: int | None = None,
+    concurrency: int = 8,
+    compare_single: bool = True,
+    service: ShardedQueryService | None = None,
+    **config,
+) -> dict:
+    """Play a concurrent probe workload through the sharded tier.
+
+    Registers ``dataset_a`` (sharded), cuts ``dataset_b`` into
+    ``probes`` batches, warms every shard with one untimed pass of the
+    first batch (index builds are a one-off cost the steady-state
+    serving numbers should not absorb — the build time is reported
+    separately), then issues all batches with at most ``concurrency``
+    in flight and measures per-batch latency.
+
+    With ``compare_single`` the identical batches also run through a
+    single-process :class:`SpatialQueryService` and each batch's sorted
+    pair list is asserted identical — the scatter-gather merge must be
+    exact, not approximate.
+
+    Returns a flat summary: ``qps``, ``p50_ms`` / ``p99_ms`` /
+    ``max_ms``, pair totals, shard fan-out and both tiers' service
+    stats.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    batches = probe_batches(dataset_b, probes, batch)
+    owns_service = service is None
+    if owns_service:
+        service = ShardedQueryService(shards=shards, kind=kind)
+    try:
+        service.start()
+        shard_info = service.register("build", dataset_a)
+
+        # Untimed warm-up: every shard builds its index once, off-clock.
+        warmup = service.probe(
+            "build", batches[0], epsilon, algorithm=algorithm, **config
+        )
+
+        latencies = [0.0] * len(batches)
+        results: list = [None] * len(batches)
+
+        async def drive() -> float:
+            semaphore = asyncio.Semaphore(concurrency)
+            loop = asyncio.get_running_loop()
+            router = service.router
+
+            async def one(index: int) -> None:
+                async with semaphore:
+                    started = loop.time()
+                    results[index] = await router.probe(
+                        "build",
+                        batches[index],
+                        epsilon,
+                        algorithm=algorithm,
+                        **config,
+                    )
+                    latencies[index] = loop.time() - started
+
+            started = loop.time()
+            await asyncio.gather(*(one(i) for i in range(len(batches))))
+            return loop.time() - started
+
+        # Run the driver coroutine on the facade's own router loop so
+        # the measured path is exactly the production one.
+        elapsed = asyncio.run_coroutine_threadsafe(
+            drive(), service._loop
+        ).result()
+
+        summary = {
+            "algorithm": algorithm,
+            "shards": shards,
+            "kind": kind,
+            "n_build": len(dataset_a),
+            "n_probe_total": sum(len(chunk) for chunk in batches),
+            "probes": len(batches),
+            "batch": len(batches[0]),
+            "concurrency": concurrency,
+            "epsilon": epsilon,
+            "result_pairs": sum(len(r) for r in results),
+            "serve_seconds": elapsed,
+            "qps": len(batches) / elapsed if elapsed > 0 else float("inf"),
+            "p50_ms": percentile(latencies, 0.50) * 1000.0,
+            "p99_ms": percentile(latencies, 0.99) * 1000.0,
+            "max_ms": max(latencies) * 1000.0,
+            "build_seconds": warmup.parameters.get("build_seconds", 0.0),
+            "replicas": shard_info["replicas"],
+            "fanout_avg": sum(
+                r.parameters["shards_contacted"] for r in results
+            )
+            / len(results),
+            "service_stats": service.stats(),
+        }
+
+        if compare_single:
+            reference = SpatialQueryService(capacity=4)
+            reference.register("build", dataset_a)
+            single_start = time.perf_counter()
+            for index, chunk in enumerate(batches):
+                expected = reference.probe(
+                    "build", chunk, epsilon, algorithm=algorithm, **config
+                )
+                got = results[index]
+                if expected.pair_set() != got.pair_set():
+                    missing = len(expected.pair_set() - got.pair_set())
+                    spurious = len(got.pair_set() - expected.pair_set())
+                    raise AssertionError(
+                        f"{algorithm} batch {index} diverges between tiers: "
+                        f"{missing} missing, {spurious} spurious pairs "
+                        f"(shards={shards})"
+                    )
+            summary["single_seconds"] = time.perf_counter() - single_start
+            summary["parity"] = True
+        return summary
+    finally:
+        if owns_service:
+            service.close()

@@ -1,0 +1,136 @@
+"""Shard assignment and probe routing for the serving tier.
+
+The sharded tier reuses the two-layer decomposition machinery of
+:mod:`repro.parallel.decompose` to cut a registered *build* dataset into
+N spatial shards whose scatter-gather merges are duplicate-free without
+any cross-shard coordination:
+
+- **membership** — a build object belongs to every shard its *raw* MBR
+  covers under :meth:`~repro.parallel.decompose.Decomposition.covers`
+  (index-range membership on the shared-edge ruler).  Raw — not
+  ε-inflated — so shard contents are independent of any query's ε and
+  one registration serves every distance threshold;
+- **masks** — each replica carries its two-layer class mask
+  (:meth:`~repro.parallel.decompose.Decomposition.class_mask` of the raw
+  MBR): bit ``i`` set iff the shard owns the object's low corner along
+  partitioned coordinate ``i``;
+- **routing** — a probe MBR, inflated by the request's ε, is routed to
+  exactly the shards it covers
+  (:meth:`~repro.parallel.decompose.Decomposition.covering_indices`),
+  carrying its own class mask per routed shard.
+
+A result pair ``(a, q)`` produced inside a shard survives the merge iff
+``mask_a | mask_q == full_mask`` — the allowed-class rule of the
+two-layer partition join (:mod:`repro.partition.classes`).  Because the
+distance predicate ``a.inflated(ε) ∩ q  ⇔  a ∩ q.inflated(ε)`` for axis-
+aligned boxes, this is exactly the duplicate-free two-layer scheme
+applied to the pair (raw build side, inflated probe side): every
+intersecting pair has exactly one *home* shard — per axis, the cell
+owning ``max(a.lo, q_inflated.lo)`` — which lies in both cover ranges
+and is the unique shard where the mask union is full.  The union of the
+per-shard filtered results is therefore complete and duplicate-free, and
+matches the single-process :class:`~repro.service.SpatialQueryService`
+pair-for-pair.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.geometry.mbr import MBR, total_mbr
+from repro.geometry.objects import SpatialObject
+from repro.parallel.decompose import DECOMPOSE_KINDS, Decomposition
+
+__all__ = ["ShardMap"]
+
+
+class ShardMap:
+    """The geometry of one sharded deployment: N shards over a universe.
+
+    Parameters
+    ----------
+    universe:
+        The MBR the decomposition cuts.  Objects and probes outside it
+        are still handled correctly — ownership clamps to the boundary
+        shards — the universe only steers load balance.
+    n_shards:
+        Shard count (>= 1); each shard is one region of the cutting.
+    kind:
+        ``"slabs"`` (1-D contiguous, the paper's §3 layout) or
+        ``"tiles"`` (2-D grid).
+    """
+
+    __slots__ = ("decomposition", "full_mask")
+
+    def __init__(
+        self, universe: MBR, n_shards: int, kind: str = "slabs"
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if kind not in DECOMPOSE_KINDS:
+            raise ValueError(
+                f"unknown shard layout {kind!r}; expected one of "
+                f"{', '.join(DECOMPOSE_KINDS)}"
+            )
+        self.decomposition = Decomposition.build(
+            universe, kind=kind, n_chunks=n_shards, axis=0
+        )
+        self.full_mask = (1 << len(self.decomposition.axes)) - 1
+
+    @classmethod
+    def for_objects(
+        cls,
+        objects: Sequence[SpatialObject],
+        n_shards: int,
+        kind: str = "slabs",
+    ) -> "ShardMap":
+        """A shard map whose universe bounds the given objects."""
+        if not objects:
+            raise ValueError("cannot derive a shard universe from zero objects")
+        return cls(total_mbr(o.mbr for o in objects), n_shards, kind)
+
+    # -- protocol ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.decomposition)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap({self.decomposition.kind}, "
+            f"shape={self.decomposition.shape})"
+        )
+
+    def describe(self) -> dict:
+        return {"shards": len(self), **self.decomposition.describe()}
+
+    # -- build-side membership -----------------------------------------
+    def shard_members(
+        self, objects: Iterable[SpatialObject]
+    ) -> list[list[tuple[SpatialObject, int]]]:
+        """Per-shard ``(object, class_mask)`` replicas of a build dataset.
+
+        Membership and masks are resolved on the *raw* MBRs so the
+        assignment is ε-independent; replication mirrors the two-layer
+        multiple assignment (an object straddling a shard boundary
+        appears in every shard it covers, each copy with its own mask).
+        """
+        decomposition = self.decomposition
+        out: list[list[tuple[SpatialObject, int]]] = [[] for _ in decomposition.regions]
+        for obj in objects:
+            for flat in decomposition.covering_indices(obj.mbr):
+                region = decomposition.regions[flat]
+                out[flat].append((obj, decomposition.class_mask(region, obj.mbr)))
+        return out
+
+    # -- probe routing -------------------------------------------------
+    def route(self, inflated: MBR) -> list[tuple[int, int]]:
+        """Shards an ε-inflated probe MBR must visit, with its masks.
+
+        Returns ``(shard_index, class_mask)`` for every shard the
+        inflated box covers — never empty (ownership clamps at the
+        universe boundary), so every probe reaches at least one shard.
+        """
+        decomposition = self.decomposition
+        return [
+            (flat, decomposition.class_mask(decomposition.regions[flat], inflated))
+            for flat in decomposition.covering_indices(inflated)
+        ]

@@ -1,0 +1,207 @@
+"""Shard worker process: one spatial shard behind an asyncio endpoint.
+
+Each worker owns one region of the :class:`~repro.serving.shards.ShardMap`
+cutting and wraps a private single-process
+:class:`~repro.service.SpatialQueryService` — the same build-once/
+probe-many engine the non-sharded tier uses, so cached-index semantics
+(cold build on first probe, warm afterwards, LRU eviction) carry over
+shard-locally unchanged.
+
+The worker is deliberately geometry-blind: it never sees the
+decomposition.  The router ships build replicas *with* their two-layer
+class masks at registration and probe boxes *with* their per-shard masks
+at query time; the worker joins locally and keeps a result pair
+``(a, q)`` iff ``mask_a | mask_q == full_mask`` — the allowed-class rule
+that makes the scatter-gather merge duplicate-free (see
+:mod:`repro.serving.shards` for the proof sketch).
+
+Joins run on the default thread-pool executor so the event loop keeps
+accepting frames while a probe computes; concurrent probes against one
+built index are safe (probes never mutate, racing cold builds build
+once — the service contract).
+
+``run_shard_worker`` is the module-level process entry point (picklable
+under every ``multiprocessing`` start method).  It binds an ephemeral
+port on loopback and reports ``("ready", port)`` — or ``("error",
+reason)`` — through the handshake pipe before serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.geometry.mbr import MBR
+from repro.geometry.objects import SpatialObject
+from repro.service.service import SpatialQueryService
+from repro.serving.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_boxes,
+    recv_message,
+    send_message,
+)
+
+__all__ = ["ShardWorker", "run_shard_worker"]
+
+
+class ShardWorker:
+    """Protocol handler + local query service of one shard."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        backend: str | None = None,
+        capacity: int = 8,
+    ) -> None:
+        self.shard_index = shard_index
+        self.service = SpatialQueryService(capacity=capacity, backend=backend)
+        #: Per dataset: build oid -> two-layer class mask of its replica.
+        self.masks: dict[str, dict[int, int]] = {}
+        self.stop_event = asyncio.Event()
+
+    # -- ops -----------------------------------------------------------
+    def op_register(self, request: dict) -> dict:
+        name = request["dataset"]
+        members = request.get("members", [])
+        objects = [
+            SpatialObject(oid, MBR(lo, hi)) for oid, lo, hi, _mask in members
+        ]
+        self.service.register(name, objects)
+        self.masks[name] = {oid: mask for oid, _lo, _hi, mask in members}
+        return {"ok": True, "shard": self.shard_index, "count": len(objects)}
+
+    def op_probe(self, request: dict) -> dict:
+        name = request["dataset"]
+        boxes = decode_boxes(request["boxes"])
+        ids = request["ids"]
+        probe_masks = request["masks"]
+        full_mask = request["full_mask"]
+        if not (len(boxes) == len(ids) == len(probe_masks)):
+            raise ProtocolError(
+                f"probe arity mismatch: {len(boxes)} boxes, {len(ids)} ids, "
+                f"{len(probe_masks)} masks"
+            )
+        result = self.service.probe(
+            name,
+            boxes,
+            request["epsilon"],
+            algorithm=request.get("algorithm", "TOUCH"),
+            **request.get("config", {}),
+        )
+        build_masks = self.masks[name]
+        # The ownership filter: local positions map back to the caller's
+        # probe ids, and only pairs whose mask union is full survive —
+        # every other replica pair is owned by (and reported from) a
+        # different shard.
+        pairs = [
+            [oid_a, ids[position]]
+            for oid_a, position in result.pairs
+            if build_masks[oid_a] | probe_masks[position] == full_mask
+        ]
+        return {
+            "ok": True,
+            "shard": self.shard_index,
+            "pairs": pairs,
+            "stats": result.stats.as_dict(),
+            "cache": result.parameters.get("cache", ""),
+            "build_seconds": result.parameters.get("build_seconds", 0.0),
+        }
+
+    def op_stats(self, _request: dict) -> dict:
+        return {
+            "ok": True,
+            "shard": self.shard_index,
+            "stats": self.service.stats(),
+            "datasets": self.service.datasets(),
+        }
+
+    def op_health(self, _request: dict) -> dict:
+        return {
+            "ok": True,
+            "shard": self.shard_index,
+            "datasets": self.service.datasets(),
+        }
+
+    def op_shutdown(self, _request: dict) -> dict:
+        self.stop_event.set()
+        return {"ok": True, "shard": self.shard_index}
+
+    def dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"op_{op}", None) if isinstance(op, str) else None
+        if handler is None or op.startswith("_"):
+            raise ProtocolError(f"unknown op {op!r}")
+        return handler(request)
+
+    # -- the connection loop -------------------------------------------
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while not self.stop_event.is_set():
+                try:
+                    request = await recv_message(reader)
+                except ProtocolError:
+                    break  # client went away / sent garbage framing
+                try:
+                    if request.get("op") == "shutdown":
+                        # On-loop: asyncio.Event is not thread-safe, and
+                        # the waiter must observe the set immediately.
+                        response = self.op_shutdown(request)
+                    else:
+                        # Joins are CPU-bound: run them off-loop so other
+                        # connections keep being served meanwhile.
+                        response = await loop.run_in_executor(
+                            None, self.dispatch, request
+                        )
+                except Exception as exc:
+                    response = {
+                        "ok": False,
+                        "shard": self.shard_index,
+                        "error": str(exc),
+                        "error_type": type(exc).__name__,
+                    }
+                await send_message(writer, response)
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+
+async def _serve_shard(
+    shard_index: int,
+    ready_conn,
+    host: str,
+    backend: str | None,
+    capacity: int,
+) -> None:
+    worker = ShardWorker(shard_index, backend=backend, capacity=capacity)
+    # The default asyncio stream limit (64 KiB) is far below a real
+    # register/probe frame; raise it to the protocol's own backstop.
+    server = await asyncio.start_server(
+        worker.handle, host=host, port=0, limit=MAX_LINE_BYTES
+    )
+    port = server.sockets[0].getsockname()[1]
+    ready_conn.send(("ready", port))
+    ready_conn.close()
+    async with server:
+        await worker.stop_event.wait()
+
+
+def run_shard_worker(
+    shard_index: int,
+    ready_conn,
+    host: str = "127.0.0.1",
+    backend: str | None = None,
+    capacity: int = 8,
+) -> None:
+    """Process entry point: serve one shard until a ``shutdown`` op."""
+    try:
+        asyncio.run(
+            _serve_shard(shard_index, ready_conn, host, backend, capacity)
+        )
+    except Exception as exc:  # pragma: no cover - handshake failure path
+        with contextlib.suppress(Exception):
+            ready_conn.send(("error", f"{type(exc).__name__}: {exc}"))

@@ -1,0 +1,285 @@
+"""RunOptions: the consolidated execution-option front door.
+
+Pins the precedence stack of ``run_algorithm`` — explicit legacy call
+kwarg > ``options`` object > ambient scope > ``REPRO_*`` environment >
+engine default — plus ``RunOptions.from_env`` validation and the
+deprecation shim for the historical kwargs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench.config import DEDUP_MODES, RunOptions
+from repro.bench.runner import (
+    current_options,
+    run_algorithm,
+    use_backend,
+    use_parallel,
+)
+from repro.datasets.synthetic import uniform_boxes
+from repro.service import SpatialQueryService
+
+EPS = 2.5
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return (
+        uniform_boxes(60, seed=81, space=30.0),
+        uniform_boxes(150, seed=82, space=30.0),
+    )
+
+
+class TestRunOptionsObject:
+    def test_defaults_are_all_unspecified(self):
+        options = RunOptions()
+        assert options.workers is None
+        assert options.decompose is None
+        assert options.dedup is None
+        assert options.backend is None
+        assert options.reuse_index is None
+        assert options.describe() == {}
+
+    def test_frozen(self):
+        options = RunOptions(workers=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.workers = 4
+
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"workers": -1}, "workers must be >= 0"),
+            ({"decompose": "hexagons"}, "unknown decompose kind"),
+            ({"dedup": "vote"}, "unknown dedup mode"),
+            ({"backend": "gpu"}, "unknown backend"),
+        ],
+    )
+    def test_validation_is_eager(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            RunOptions(**kwargs)
+
+    def test_over_set_fields_win(self):
+        base = RunOptions(workers=4, decompose="slabs", backend="object")
+        overlay = RunOptions(workers=0, dedup="partition")
+        merged = overlay.over(base)
+        assert merged == RunOptions(
+            workers=0, decompose="slabs", dedup="partition", backend="object"
+        )
+
+    def test_over_none_defers(self):
+        base = RunOptions(workers=3)
+        assert RunOptions().over(base) is base
+
+    def test_describe_reports_set_fields(self):
+        options = RunOptions(workers=2, decompose="tiles", reuse_index=True)
+        assert options.describe() == {
+            "workers": 2,
+            "decompose": "tiles",
+            "reuse_index": True,
+        }
+
+    def test_dedup_modes_match_engine(self):
+        from repro.parallel.engine import ParallelChunkedJoin
+
+        assert DEDUP_MODES == ParallelChunkedJoin.DEDUP_MODES
+
+
+class TestFromEnv:
+    def test_unset_environment_is_all_none(self, monkeypatch):
+        for name in (
+            "REPRO_WORKERS",
+            "REPRO_DECOMPOSE",
+            "REPRO_DEDUP",
+            "REPRO_BACKEND",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert RunOptions.from_env() == RunOptions()
+
+    def test_reads_every_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setenv("REPRO_DECOMPOSE", "tiles")
+        monkeypatch.setenv("REPRO_DEDUP", "partition")
+        monkeypatch.setenv("REPRO_BACKEND", "object")
+        assert RunOptions.from_env() == RunOptions(
+            workers=3, decompose="tiles", dedup="partition", backend="object"
+        )
+
+    @pytest.mark.parametrize(
+        "name, value",
+        [
+            ("REPRO_WORKERS", "many"),
+            ("REPRO_WORKERS", "-2"),
+            ("REPRO_DECOMPOSE", "hexagons"),
+            ("REPRO_DEDUP", "vote"),
+            ("REPRO_BACKEND", "gpu"),
+        ],
+    )
+    def test_junk_values_name_the_variable(self, monkeypatch, name, value):
+        monkeypatch.setenv(name, value)
+        with pytest.raises(ValueError, match=name):
+            RunOptions.from_env()
+
+
+class TestCurrentOptions:
+    def test_default_is_empty(self, monkeypatch):
+        for name in ("REPRO_WORKERS", "REPRO_DECOMPOSE", "REPRO_BACKEND"):
+            monkeypatch.delenv(name, raising=False)
+        assert current_options() == RunOptions()
+
+    def test_env_flows_through(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_DECOMPOSE", "tiles")
+        options = current_options()
+        assert options.workers == 2
+        assert options.decompose == "tiles"
+
+    def test_scope_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        with use_parallel(workers=4, decompose="slabs"):
+            assert current_options().workers == 4
+        with use_backend("object"):
+            assert current_options().backend == "object"
+
+
+class TestRunAlgorithmPrecedence:
+    """The three layers, pinned pairwise on real joins.
+
+    ``workers`` selects the engine, and the engine stamps itself into
+    ``extra`` (``n_chunks`` present iff the multiprocess engine ran), so
+    each layer's victory is observable from the record.
+    """
+
+    @pytest.mark.parallel
+    def test_options_object_selects_the_engine(self, pair):
+        a, b = pair
+        record = run_algorithm(
+            "TOUCH", a, b, EPS, options=RunOptions(workers=2, decompose="tiles")
+        )
+        assert record.extra["workers"] == 2
+        assert record.extra["decompose"] == "tiles"
+
+    @pytest.mark.parallel
+    def test_options_object_beats_environment(self, pair, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        a, b = pair
+        record = run_algorithm("TOUCH", a, b, EPS, options=RunOptions(workers=0))
+        assert "n_chunks" not in record.extra  # sequential path ran
+
+    @pytest.mark.parallel
+    def test_legacy_kwarg_beats_options_object(self, pair):
+        a, b = pair
+        with pytest.deprecated_call():
+            record = run_algorithm(
+                "TOUCH", a, b, EPS, options=RunOptions(workers=2), workers=0
+            )
+        assert "n_chunks" not in record.extra
+
+    @pytest.mark.parallel
+    def test_environment_still_applies_when_unspecified(self, pair, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_DECOMPOSE", "tiles")
+        a, b = pair
+        record = run_algorithm("TOUCH", a, b, EPS)
+        assert record.extra["workers"] == 2
+        assert record.extra["decompose"] == "tiles"
+
+    def test_options_backend_feeds_algorithm(self, pair):
+        a, b = pair
+        record = run_algorithm(
+            "TOUCH", a, b, EPS, options=RunOptions(backend="object")
+        )
+        assert record.extra["backend"] == "object"
+
+    def test_explicit_backend_override_beats_options(self, pair):
+        a, b = pair
+        record = run_algorithm(
+            "TOUCH",
+            a,
+            b,
+            EPS,
+            options=RunOptions(backend="object"),
+            backend="columnar",
+        )
+        assert record.extra["backend"] == "columnar"
+
+    def test_options_reuse_index_routes_through_service(self, pair):
+        a, b = pair
+        service = SpatialQueryService(capacity=2)
+        record = run_algorithm(
+            "TOUCH", a, b, EPS, options=RunOptions(reuse_index=service)
+        )
+        assert record.extra["cache"] == "cold"
+        again = run_algorithm(
+            "TOUCH", a, b, EPS, options=RunOptions(reuse_index=service)
+        )
+        assert again.extra["cache"] == "warm"
+        assert again.result_pairs == record.result_pairs
+
+    def test_reuse_index_with_workers_still_rejected(self, pair):
+        a, b = pair
+        with pytest.raises(ValueError, match="cannot be combined"):
+            run_algorithm(
+                "TOUCH",
+                a,
+                b,
+                EPS,
+                options=RunOptions(workers=2, reuse_index=True),
+            )
+
+
+class TestDeprecationShim:
+    """The historical kwargs keep working, loudly."""
+
+    @pytest.mark.parallel
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"workers": 2, "decompose": "tiles"},
+            {"workers": 2, "dedup": "partition"},
+        ],
+    )
+    def test_legacy_kwargs_warn(self, pair, kwargs):
+        a, b = pair
+        with pytest.deprecated_call(match="options=RunOptions"):
+            record = run_algorithm("TOUCH", a, b, EPS, **kwargs)
+        if kwargs.get("workers"):
+            assert record.extra["workers"] == kwargs["workers"]
+
+    def test_legacy_reuse_index_warns(self, pair):
+        a, b = pair
+        with pytest.deprecated_call(match="reuse_index"):
+            record = run_algorithm(
+                "TOUCH", a, b, EPS, reuse_index=SpatialQueryService(capacity=2)
+            )
+        assert record.extra["cache"] == "cold"
+
+    def test_reuse_index_false_is_unspecified(self, pair):
+        """``reuse_index=False`` was the old default — it must not warn."""
+        import warnings
+
+        a, b = pair
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            record = run_algorithm("TOUCH", a, b, EPS, reuse_index=False)
+        assert "cache" not in record.extra
+
+    def test_no_kwargs_no_warning(self, pair):
+        import warnings
+
+        a, b = pair
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            record = run_algorithm("TOUCH", a, b, EPS)
+        assert record.result_pairs > 0
+
+    @pytest.mark.parallel
+    def test_legacy_and_new_spellings_agree(self, pair):
+        a, b = pair
+        with pytest.deprecated_call():
+            legacy = run_algorithm("TOUCH", a, b, EPS, workers=2)
+        modern = run_algorithm("TOUCH", a, b, EPS, options=RunOptions(workers=2))
+        assert legacy.result_pairs == modern.result_pairs

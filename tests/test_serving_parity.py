@@ -1,0 +1,92 @@
+"""Scatter-gather parity: every algorithm × backend, both tiers.
+
+One shared 3-shard cluster serves the whole module; for each registered
+algorithm (and each geometry backend of the backend-aware ones) the same
+probe batch runs through the sharded tier and the single-process
+:class:`SpatialQueryService`, and the sorted pair lists must be
+identical — the two-layer ownership-mask merge is exact, never
+approximate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import uniform_boxes
+from repro.joins.registry import BACKEND_AWARE, algorithm_names
+from repro.service import SpatialQueryService
+from repro.serving import ShardedQueryService
+
+EPS = 2.5
+
+CASES = []
+for _name in algorithm_names():
+    if _name in BACKEND_AWARE:
+        CASES.append((_name, "object"))
+        CASES.append((_name, "columnar"))
+    else:
+        CASES.append((_name, None))
+
+
+@pytest.fixture(scope="module")
+def data():
+    return (
+        list(uniform_boxes(120, seed=71, space=40.0)),
+        list(uniform_boxes(300, seed=72, space=40.0)),
+    )
+
+
+@pytest.fixture(scope="module")
+def sharded(data):
+    build, _ = data
+    # Capacity covers one warm index per (algorithm, backend) case so the
+    # sweep doesn't thrash the worker-side LRU.
+    with ShardedQueryService(shards=3, capacity=len(CASES) + 2) as service:
+        service.register("build", build)
+        yield service
+
+
+@pytest.fixture(scope="module")
+def reference(data):
+    build, _ = data
+    service = SpatialQueryService(capacity=len(CASES) + 2)
+    service.register("build", build)
+    return service
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize(
+    "algorithm, backend",
+    CASES,
+    ids=[f"{name}-{backend or 'default'}" for name, backend in CASES],
+)
+def test_pair_sets_identical_across_tiers(
+    sharded, reference, data, algorithm, backend
+):
+    _, probe = data
+    config = {"backend": backend} if backend else {}
+    expected = reference.probe("build", probe, EPS, algorithm=algorithm, **config)
+    got = sharded.probe("build", probe, EPS, algorithm=algorithm, **config)
+    assert sorted(got.pairs) == sorted(expected.pairs)
+    assert got.stats.result_pairs == expected.stats.result_pairs
+    assert got.parameters["shards"] == 3
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("algorithm", ["TOUCH", "PBSM-500", "TwoLayer-500"])
+def test_mbr_batch_parity(sharded, reference, data, algorithm):
+    _, probe = data
+    boxes = [obj.mbr for obj in probe[:60]]
+    expected = reference.probe_mbrs("build", boxes, EPS, algorithm=algorithm)
+    got = sharded.probe_mbrs("build", boxes, EPS, algorithm=algorithm)
+    assert sorted(got.pairs) == sorted(expected.pairs)
+
+
+@pytest.mark.parallel
+@pytest.mark.parametrize("epsilon", [0.0, 1.0, 5.0])
+def test_epsilon_sweep_parity(sharded, reference, data, epsilon):
+    """One registration serves every ε — membership is ε-independent."""
+    _, probe = data
+    expected = reference.probe("build", probe, epsilon)
+    got = sharded.probe("build", probe, epsilon)
+    assert sorted(got.pairs) == sorted(expected.pairs)
