@@ -19,7 +19,7 @@ different pairs means a correctness change, not noise.
 
 Usage::
 
-    python benchmarks/trajectory.py --out BENCH_PR6.json
+    python benchmarks/trajectory.py --out BENCH_PR7.json
     python benchmarks/trajectory.py --scale smoke --quick   # CI-less dry run
 """
 
@@ -46,6 +46,13 @@ TRAJECTORY_ALGORITHMS = ("TOUCH", "TwoLayer-500", "PBSM-500")
 
 #: (figure, distribution) pairs of the tracked one-shot workloads.
 TRAJECTORY_FIGURES = (("fig9", "uniform"), ("fig11", "clustered"))
+
+#: Extra head-to-head TOUCH rows per figure: the columnar baseline vs
+#: the compiled kernel tier.  Rows are keyed by the *requested* backend
+#: so the trajectory key stays stable even on hosts where the compiled
+#: tier degrades to columnar (the resolved tier rides along as
+#: ``resolved_backend``).
+TOUCH_BACKEND_ROWS = ("compiled",)
 
 #: Queries issued against the cached index in the serve workload (the
 #: acceptance workload probes 100 times).
@@ -92,6 +99,29 @@ def run_figures(scale, backend: str | None) -> list[dict]:
             print(
                 f"  {record.algorithm:14s} {workload:42s} "
                 f"{wall:8.3f}s  pairs={record.result_pairs}"
+            )
+        for requested in TOUCH_BACKEND_ROWS:
+            start = time.perf_counter()
+            record = run_algorithm(
+                "TOUCH", dataset_a, dataset_b, scale.large_epsilon,
+                backend=requested,
+            )
+            wall = time.perf_counter() - start
+            resolved = record.extra.get("backend", requested)
+            rows.append(
+                {
+                    "algorithm": record.algorithm,
+                    "backend": requested,
+                    "workload": workload,
+                    "seconds": wall,
+                    "pairs": record.result_pairs,
+                    "resolved_backend": resolved,
+                }
+            )
+            print(
+                f"  {record.algorithm:14s} {workload:42s} "
+                f"{wall:8.3f}s  pairs={record.result_pairs} "
+                f"[{requested} -> {resolved}]"
             )
     return rows
 
@@ -232,28 +262,50 @@ def previous_point(
 
 
 def compare_points(rows: list[dict], previous: dict, threshold: float) -> list[str]:
-    """Warnings for rows slower than (or disagreeing with) the last point."""
+    """Warnings for rows slower than (or disagreeing with) the last point.
+
+    The previous point is committed data from another PR on another
+    machine — a missing row, a missing key, or a malformed entry must
+    never crash the gate.  Anything that cannot be compared prints a
+    "no baseline" note and the run continues.
+    """
     warnings = []
-    old_rows = {
-        (row["algorithm"], row["backend"], row["workload"]): row
-        for row in previous.get("rows", [])
-    }
+    old_rows: dict[tuple, dict] = {}
+    previous_rows = previous.get("rows") if isinstance(previous, dict) else None
+    for row in previous_rows or []:
+        try:
+            old_rows[(row["algorithm"], row["backend"], row["workload"])] = row
+        except (TypeError, KeyError):
+            print("WARNING: malformed row in previous point; ignoring it")
     for row in rows:
-        old = old_rows.get((row["algorithm"], row["backend"], row["workload"]))
+        key = (row["algorithm"], row["backend"], row["workload"])
+        label = f"{row['algorithm']} [{row['backend']}] {row['workload']}"
+        old = old_rows.get(key)
         if old is None:
+            print(f"no baseline for {label}; skipping comparison")
             continue
-        if row["pairs"] != old["pairs"]:
+        old_pairs = old.get("pairs")
+        old_seconds = old.get("seconds")
+        if not isinstance(old_seconds, (int, float)) or isinstance(
+            old_seconds, bool
+        ):
+            print(
+                f"no baseline timing for {label} (previous row lacks "
+                "'seconds'); skipping comparison"
+            )
+            continue
+        if old_pairs is not None and row["pairs"] != old_pairs:
             warnings.append(
                 f"{row['algorithm']} {row['workload']}: pairs changed "
-                f"{old['pairs']} -> {row['pairs']} — same workload, different "
+                f"{old_pairs} -> {row['pairs']} — same workload, different "
                 "result; investigate before trusting any timing"
             )
-        if old["seconds"] > 0:
-            slowdown = row["seconds"] / old["seconds"] - 1.0
+        if old_seconds > 0:
+            slowdown = row["seconds"] / old_seconds - 1.0
             if slowdown > threshold:
                 warnings.append(
                     f"{row['algorithm']} {row['workload']}: {slowdown:+.0%} "
-                    f"({old['seconds']:.3f}s -> {row['seconds']:.3f}s) exceeds "
+                    f"({old_seconds:.3f}s -> {row['seconds']:.3f}s) exceeds "
                     f"the {threshold:.0%} regression threshold"
                 )
     return warnings
@@ -264,7 +316,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
     parser.add_argument("--backend", default=None, help="geometry backend override")
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_PR6.json"), help="trajectory point to write"
+        "--out", type=Path, default=Path("BENCH_PR7.json"), help="trajectory point to write"
     )
     parser.add_argument(
         "--compare-root",

@@ -40,8 +40,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKENDS,
         default=None,
         help="geometry backend for every join of the experiment "
-        "(object | columnar | auto); algorithms without a columnar "
-        "port run unchanged — used for backend ablation sweeps",
+        "(object | columnar | compiled | auto); compiled degrades to "
+        "columnar without numba; algorithms without a columnar port "
+        "run unchanged — used for backend ablation sweeps",
     )
     workers_kwargs = dict(
         type=int,

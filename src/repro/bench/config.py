@@ -209,6 +209,11 @@ def _backend_names() -> tuple[str, ...]:
 #: Valid values of the ``dedup`` execution option.
 DEDUP_MODES = ("reference", "partition")
 
+#: Valid values of the ``handoff`` execution option (mirrors
+#: :data:`repro.parallel.engine.HANDOFF_MODES` without importing the
+#: engine — config must stay importable without numpy).
+HANDOFF_MODES = ("auto", "shm", "pickle")
+
 
 @dataclass(frozen=True)
 class RunOptions:
@@ -235,7 +240,13 @@ class RunOptions:
         engine default ``"reference"``).
     backend:
         Geometry backend forwarded to backend-aware algorithms
-        (``"object"`` | ``"columnar"`` | ``"auto"``).
+        (``"object"`` | ``"columnar"`` | ``"compiled"`` | ``"auto"``;
+        ``"compiled"`` degrades to columnar when numba is missing and
+        ``REPRO_COMPILED`` is not ``force``).
+    handoff:
+        Worker hand-off of the multiprocess engine (``"auto"`` |
+        ``"shm"`` | ``"pickle"``; engine default ``"auto"`` — shared
+        memory when available).
     reuse_index:
         Route the join through the build-once/probe-many query service:
         ``True`` for the process-wide default service, a live
@@ -247,6 +258,7 @@ class RunOptions:
     decompose: str | None = None
     dedup: str | None = None
     backend: str | None = None
+    handoff: str | None = None
     reuse_index: "bool | object | None" = None
 
     def __post_init__(self) -> None:
@@ -267,6 +279,11 @@ class RunOptions:
                 f"unknown backend {self.backend!r}; expected one of "
                 f"{', '.join(_backend_names())}"
             )
+        if self.handoff is not None and self.handoff not in HANDOFF_MODES:
+            raise ValueError(
+                f"unknown handoff mode {self.handoff!r}; expected one of "
+                f"{', '.join(HANDOFF_MODES)}"
+            )
 
     @classmethod
     def from_env(cls) -> "RunOptions":
@@ -283,6 +300,7 @@ class RunOptions:
             decompose=env_choice("REPRO_DECOMPOSE", _decompose_kinds()),
             dedup=env_choice("REPRO_DEDUP", DEDUP_MODES),
             backend=env_choice("REPRO_BACKEND", _backend_names()),
+            handoff=env_choice("REPRO_HANDOFF", HANDOFF_MODES),
         )
 
     def over(self, base: "RunOptions") -> "RunOptions":
@@ -294,6 +312,7 @@ class RunOptions:
                 ("decompose", self.decompose),
                 ("dedup", self.dedup),
                 ("backend", self.backend),
+                ("handoff", self.handoff),
                 ("reuse_index", self.reuse_index),
             )
             if value is not None
@@ -303,7 +322,7 @@ class RunOptions:
     def describe(self) -> dict:
         """The non-default fields, for reports and reprs."""
         out = {}
-        for field in ("workers", "decompose", "dedup", "backend"):
+        for field in ("workers", "decompose", "dedup", "backend", "handoff"):
             value = getattr(self, field)
             if value is not None:
                 out[field] = value

@@ -127,11 +127,16 @@ def current_options() -> RunOptions:
     """
     parallel = current_parallel()
     backend = current_backend()
+    handoff = _env_choice("REPRO_HANDOFF", ("auto", "shm", "pickle"))
     if parallel is None:
-        return RunOptions(backend=backend)
+        return RunOptions(backend=backend, handoff=handoff)
     workers, decompose, dedup = parallel
     return RunOptions(
-        workers=workers, decompose=decompose, dedup=dedup, backend=backend
+        workers=workers,
+        decompose=decompose,
+        dedup=dedup,
+        backend=backend,
+        handoff=handoff,
     )
 
 
@@ -355,6 +360,7 @@ def run_algorithm(
             workers=resolved.workers,
             kind=resolved.decompose or "slabs",
             dedup=resolved.dedup or "reference",
+            handoff=resolved.handoff or "auto",
         )
     else:
         algorithm = make_algorithm(algorithm_name, **algorithm_overrides)

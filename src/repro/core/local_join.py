@@ -21,11 +21,11 @@ from repro.core.tree import TouchNode, TouchTree
 from repro.geometry.columnar import CoordinateTable, require_numpy
 from repro.geometry.objects import SpatialObject
 from repro.joins.base import Pair
+from repro.geometry.compiled import FlatHierarchy, descend_ranges
 from repro.joins.local import (
     COLUMNAR_KERNELS,
     LOCAL_KERNELS,
     grid_kernel,
-    grid_kernel_columnar,
 )
 from repro.stats.counters import JoinStatistics
 
@@ -38,6 +38,8 @@ __all__ = [
     "join_assigned_nodes",
     "join_assigned_nodes_columnar",
     "probe_assigned_nodes_columnar",
+    "flatten_hierarchy",
+    "probe_assigned_nodes_compiled",
 ]
 
 
@@ -109,6 +111,7 @@ def join_assigned_nodes_columnar(
     kernel_name: str = "grid",
     cell_size_factor: float = 4.0,
     max_cells_per_dim: int = 64,
+    kernels: "dict | None" = None,
 ) -> list[Pair]:
     """Columnar Algorithm 4 driver: one batched kernel call per node.
 
@@ -120,9 +123,14 @@ def join_assigned_nodes_columnar(
     sub-tables are joined with the selected columnar kernel.  Disjoint
     single-assignment batches keep the result duplicate-free (Lemma 3),
     exactly as in the object path.
+
+    ``kernels`` selects the kernel registry (default
+    :data:`~repro.joins.local.COLUMNAR_KERNELS`; the compiled backend
+    passes :data:`~repro.joins.local.COMPILED_KERNELS`).
     """
     require_numpy()
-    if kernel_name not in COLUMNAR_KERNELS:
+    kernel_table = COLUMNAR_KERNELS if kernels is None else kernels
+    if kernel_name not in kernel_table:
         raise ValueError(f"unknown local kernel {kernel_name!r}")
     pairs: list[Pair] = []
     ids_a, ids_b = table_a.ids, table_b.ids
@@ -135,7 +143,7 @@ def join_assigned_nodes_columnar(
         sub_a = table_a.take(a_rows)
         sub_b = table_b.take(b_rows)
         if kernel_name == "grid":
-            hit_a, hit_b = grid_kernel_columnar(
+            hit_a, hit_b = kernel_table["grid"](
                 sub_a,
                 sub_b,
                 stats,
@@ -143,7 +151,7 @@ def join_assigned_nodes_columnar(
                 max_cells_per_dim=max_cells_per_dim,
             )
         else:
-            hit_a, hit_b = COLUMNAR_KERNELS[kernel_name](sub_a, sub_b, stats)
+            hit_a, hit_b = kernel_table[kernel_name](sub_a, sub_b, stats)
         if len(hit_a):
             oid_a = ids_a[a_rows[hit_a]]
             oid_b = ids_b[np.asarray(b_rows)[hit_b]]
@@ -215,6 +223,113 @@ def probe_assigned_nodes_columnar(
     stats.comparisons += comparisons
     stats.node_tests += node_tests
     return pairs
+
+
+def flatten_hierarchy(
+    tree: TouchTree,
+    leaf_slices: "dict[TouchNode, tuple[int, int]]",
+) -> FlatHierarchy:
+    """Lower the TOUCH tree to flat arrays for the compiled descent.
+
+    Nodes are numbered in the same traversal order that built
+    ``leaf_slices`` (:func:`leaf_order_table` iterates ``tree.leaves()``,
+    which filters ``iter_nodes()``), so every subtree's A rows form one
+    contiguous ``[sub_start, sub_stop)`` range — the property the
+    true-hit shortcut emits from.  ``sub_tests`` aggregates the child
+    counts of each subtree's internal nodes, letting the shortcut charge
+    skipped node tests exactly as a full descent would.
+    """
+    require_numpy()
+    nodes = list(tree.iter_nodes())
+    count = len(nodes)
+    index = {node: position for position, node in enumerate(nodes)}
+    node_lo = np.array([node.mbr.lo for node in nodes], dtype=np.float64)
+    node_hi = np.array([node.mbr.hi for node in nodes], dtype=np.float64)
+    children_ptr = np.zeros(count + 1, dtype=np.int64)
+    child_ids: list[int] = []
+    for position, node in enumerate(nodes):
+        kids = () if node.is_leaf else node.children
+        children_ptr[position + 1] = children_ptr[position] + len(kids)
+        child_ids.extend(index[child] for child in kids)
+    children_idx = np.asarray(child_ids, dtype=np.int64)
+    sub_start = np.zeros(count, dtype=np.int64)
+    sub_stop = np.zeros(count, dtype=np.int64)
+    sub_tests = np.zeros(count, dtype=np.int64)
+    # Pre-order puts every child after its parent, so a reverse scan is
+    # a bottom-up aggregation.
+    for position in range(count - 1, -1, -1):
+        node = nodes[position]
+        if node.is_leaf:
+            start, stop = leaf_slices[node]
+            sub_start[position], sub_stop[position] = start, stop
+            continue
+        kids = children_idx[children_ptr[position] : children_ptr[position + 1]]
+        if len(kids) == 0:  # pragma: no cover - trees never build these
+            continue
+        sub_start[position] = sub_start[kids].min()
+        sub_stop[position] = sub_stop[kids].max()
+        sub_tests[position] = sub_tests[kids].sum() + len(kids)
+        if sub_stop[position] - sub_start[position] != (
+            sub_stop[kids] - sub_start[kids]
+        ).sum():  # pragma: no cover - traversal-order regression guard
+            raise AssertionError(
+                "subtree rows are not contiguous in leaf order; "
+                "flatten_hierarchy must use the leaf_order_table traversal"
+            )
+    return FlatHierarchy(
+        node_lo,
+        node_hi,
+        children_ptr,
+        children_idx,
+        sub_start,
+        sub_stop,
+        sub_tests,
+        index,
+    )
+
+
+def probe_assigned_nodes_compiled(
+    flat: FlatHierarchy,
+    table_a: CoordinateTable,
+    table_b: CoordinateTable,
+    assigned: "dict[TouchNode, object]",
+    stats: JoinStatistics,
+) -> list[Pair]:
+    """Compiled twin of :func:`probe_assigned_nodes_columnar`.
+
+    Every assigned B row descends the flattened hierarchy from its
+    phase-2 node in one kernel call, true-hit shortcut included; the
+    ``comparisons`` / ``node_tests`` counters equal the uncompiled
+    descent bit-for-bit (the shortcut charges skipped work from the
+    subtree aggregates).
+    """
+    require_numpy()
+    seeds: list = []
+    row_blocks: list = []
+    for node, b_rows in assigned.items():
+        b_rows = np.asarray(b_rows, dtype=np.int64)
+        if len(b_rows) == 0:
+            continue
+        seeds.append(np.full(len(b_rows), flat.index[node], dtype=np.int64))
+        row_blocks.append(b_rows)
+    if not seeds:
+        return []
+    hit_a, hit_b, comparisons, node_tests = descend_ranges(
+        flat,
+        table_a.lo,
+        table_a.hi,
+        table_b.lo,
+        table_b.hi,
+        np.concatenate(seeds),
+        np.concatenate(row_blocks),
+    )
+    stats.comparisons += comparisons
+    stats.node_tests += node_tests
+    if len(hit_a) == 0:
+        return []
+    return list(
+        zip(table_a.ids[hit_a].tolist(), table_b.ids[hit_b].tolist())
+    )
 
 
 def leaf_order_table(tree: TouchTree):

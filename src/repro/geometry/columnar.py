@@ -40,16 +40,28 @@ except ImportError:  # pragma: no cover - the CI images all ship numpy
     np = None  # type: ignore[assignment]
     HAVE_NUMPY = False
 
+try:  # pragma: no cover - stdlib on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover - stripped-down interpreters
+    _shared_memory = None  # type: ignore[assignment]
+    HAVE_SHM = False
+
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.geometry.objects
     from repro.geometry.objects import SpatialObject
 
 __all__ = [
     "HAVE_NUMPY",
+    "HAVE_SHM",
     "require_numpy",
     "BACKENDS",
     "resolve_backend",
     "validate_backend",
     "CoordinateTable",
+    "SharedTableHandle",
+    "SharedTableBlock",
+    "DEFAULT_DIM",
     "intersects_many",
     "intersect_pairs",
     "sweep_pairs",
@@ -77,7 +89,11 @@ def require_numpy() -> None:
 
 
 #: Valid values of the ``backend`` parameter of the ported algorithms.
-BACKENDS = ("auto", "object", "columnar")
+BACKENDS = ("auto", "object", "columnar", "compiled")
+
+#: Dimensionality assumed for empty tables built without an explicit
+#: ``dim`` (the library's native datasets are 3-D boxes).
+DEFAULT_DIM = 3
 
 
 def validate_backend(backend: str) -> str:
@@ -89,17 +105,32 @@ def validate_backend(backend: str) -> str:
     return backend
 
 
-def resolve_backend(backend: str) -> str:
-    """Normalise a backend selector to ``"object"`` or ``"columnar"``.
+def resolve_backend(backend: str, allow_compiled: bool = True) -> str:
+    """Normalise a backend selector to an executable backend name.
 
     ``"auto"`` picks the columnar path whenever numpy is importable and
-    falls back to the object path otherwise.  Explicitly requesting
-    ``"columnar"`` without numpy fails later, inside the first columnar
-    kernel, with the :func:`require_numpy` message.
+    falls back to the object path otherwise — it never opts into the
+    compiled tier on its own.  ``"compiled"`` resolves to itself when
+    the compiled kernels are usable (numba importable, or the
+    ``REPRO_COMPILED=force`` pure-python mode) and degrades gracefully
+    to ``"columnar"`` (then ``"object"``) when they are not.  Algorithms
+    without a compiled execution pass ``allow_compiled=False`` so an
+    explicit ``backend="compiled"`` request lands on their columnar
+    path instead of falling through to the object loops.  Explicitly
+    requesting ``"columnar"`` without numpy fails later, inside the
+    first columnar kernel, with the :func:`require_numpy` message.
     """
     validate_backend(backend)
     if backend == "auto":
         return "columnar" if HAVE_NUMPY else "object"
+    if backend == "compiled":
+        if not HAVE_NUMPY:
+            return "object"
+        if not allow_compiled:
+            return "columnar"
+        from repro.geometry.compiled import compiled_available
+
+        return "compiled" if compiled_available() else "columnar"
     return backend
 
 
@@ -121,7 +152,7 @@ class CoordinateTable:
     ids and coordinates exactly (float64 in, float64 out).
     """
 
-    __slots__ = ("coords", "ids")
+    __slots__ = ("coords", "ids", "_shm")
 
     def __init__(self, coords, ids) -> None:
         require_numpy()
@@ -137,14 +168,27 @@ class CoordinateTable:
             )
         self.coords = coords
         self.ids = ids
+        self._shm = None
 
     # -- construction --------------------------------------------------
     @classmethod
-    def from_objects(cls, objects: Sequence["SpatialObject"]) -> "CoordinateTable":
-        """Build a table from spatial objects (ids taken from ``oid``)."""
+    def from_objects(
+        cls, objects: Sequence["SpatialObject"], dim: int | None = None
+    ) -> "CoordinateTable":
+        """Build a table from spatial objects (ids taken from ``oid``).
+
+        An empty sequence yields a well-formed ``(0, 2 * dim)`` table
+        (``dim`` defaults to :data:`DEFAULT_DIM` when it cannot be
+        inferred), so empty-side joins flow through the columnar
+        kernels instead of tripping a shape-inference error.
+        """
         require_numpy()
         if not objects:
-            raise ValueError("cannot build a CoordinateTable from zero objects")
+            dim = DEFAULT_DIM if dim is None else dim
+            return cls(
+                np.empty((0, 2 * dim), dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
         dim = objects[0].mbr.dim
         coords = np.empty((len(objects), 2 * dim), dtype=np.float64)
         ids = np.empty(len(objects), dtype=np.int64)
@@ -157,13 +201,24 @@ class CoordinateTable:
 
     @classmethod
     def from_mbrs(
-        cls, mbrs: Iterable[MBR], ids: Sequence[int] | None = None
+        cls,
+        mbrs: Iterable[MBR],
+        ids: Sequence[int] | None = None,
+        dim: int | None = None,
     ) -> "CoordinateTable":
-        """Build a table from raw MBRs with sequential (or given) ids."""
+        """Build a table from raw MBRs with sequential (or given) ids.
+
+        Empty input yields a ``(0, 2 * dim)`` table exactly like
+        :meth:`from_objects`.
+        """
         require_numpy()
         boxes = list(mbrs)
         if not boxes:
-            raise ValueError("cannot build a CoordinateTable from zero MBRs")
+            dim = DEFAULT_DIM if dim is None else dim
+            return cls(
+                np.empty((0, 2 * dim), dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
         dim = boxes[0].dim
         coords = np.empty((len(boxes), 2 * dim), dtype=np.float64)
         for i, box in enumerate(boxes):
@@ -223,8 +278,190 @@ class CoordinateTable:
         return CoordinateTable(self.coords[indices], self.ids[indices])
 
     def bounds(self):
-        """``(lo, hi)`` vectors of the tight bound over all rows."""
+        """``(lo, hi)`` vectors of the tight bound over all rows.
+
+        Raises
+        ------
+        ValueError
+            On an empty table — there is no meaningful bound, and a
+            bare numpy reduction error would not name the culprit.
+        """
+        if len(self) == 0:
+            raise ValueError(f"bounds() of an empty table: {self!r} has no rows")
         return self.lo.min(axis=0), self.hi.max(axis=0)
+
+    # -- shared-memory hand-off ----------------------------------------
+    def to_shared(self, name: str | None = None) -> "SharedTableBlock":
+        """Publish the table into one shared-memory segment.
+
+        The segment holds the coordinate block followed by the id block;
+        the returned :class:`SharedTableBlock` owns the segment (the
+        caller must :meth:`~SharedTableBlock.close` it, normally with
+        ``unlink=True``, when every consumer is done) and exposes the
+        tiny picklable :class:`SharedTableHandle` that workers attach
+        with :meth:`from_shared` / :meth:`shm_slice`.
+        """
+        require_shm()
+        coords = np.ascontiguousarray(self.coords)
+        ids = np.ascontiguousarray(self.ids)
+        total = coords.nbytes + ids.nbytes
+        segment = _shared_memory.SharedMemory(
+            name=name, create=True, size=max(total, 1)
+        )
+        handle = SharedTableHandle(segment.name, len(self), self.dim)
+        buf = segment.buf
+        np.frombuffer(buf, dtype=np.float64, count=coords.size)[...] = (
+            coords.reshape(-1)
+        )
+        np.frombuffer(
+            buf, dtype=np.int64, count=ids.size, offset=coords.nbytes
+        )[...] = ids
+        return SharedTableBlock(segment, handle)
+
+    @classmethod
+    def from_shared(cls, handle: "SharedTableHandle") -> "CoordinateTable":
+        """Attach a published table as a zero-copy view.
+
+        The returned table's arrays alias the shared segment; the
+        attachment is held open for the lifetime of the table object.
+        The publishing process keeps ownership — this side never
+        unlinks.  Use :meth:`shm_slice` to materialise a private row
+        subset and drop the attachment immediately.
+        """
+        require_numpy()
+        require_shm()
+        segment = _attach_segment(handle.name)
+        rows, dim = handle.rows, handle.dim
+        coords = np.frombuffer(
+            segment.buf, dtype=np.float64, count=rows * 2 * dim
+        ).reshape(rows, 2 * dim)
+        ids = np.frombuffer(
+            segment.buf, dtype=np.int64, count=rows, offset=coords.nbytes
+        )
+        table = cls.__new__(cls)
+        table.coords = coords
+        table.ids = ids
+        table._shm = segment
+        return table
+
+    @classmethod
+    def shm_slice(cls, handle: "SharedTableHandle", indices) -> "CoordinateTable":
+        """Copy the ``indices`` rows of a published table and detach.
+
+        The worker-side hand-off primitive: attach the parent's
+        segment, fancy-index just this worker's rows into private
+        arrays, then close the attachment so the parent's ``unlink``
+        is the only lifecycle event left.
+        """
+        view = cls.from_shared(handle)
+        try:
+            return cls(view.coords[indices], view.ids[indices])
+        finally:
+            view.release()
+
+    def release(self) -> None:
+        """Drop a :meth:`from_shared` attachment (no-op otherwise).
+
+        The table's arrays are invalidated (replaced by empty ones) so
+        the aliased buffer can actually close; callers must have copied
+        whatever rows they need first (:meth:`shm_slice` does).
+        """
+        segment, self._shm = self._shm, None
+        if segment is None:
+            return
+        dim = self.dim
+        self.coords = np.empty((0, 2 * dim), dtype=np.float64)
+        self.ids = np.empty(0, dtype=np.int64)
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a caller kept a view alive
+            # The attachment then lives until process exit; the segment
+            # itself is still owned (and unlinked) by the publisher.
+            pass
+
+
+def require_shm() -> None:
+    """Raise a clear error when the shm hand-off is used without support."""
+    require_numpy()
+    if not HAVE_SHM:
+        raise RuntimeError(
+            "multiprocessing.shared_memory is unavailable on this platform; "
+            "use the pickle hand-off (handoff='pickle')"
+        )
+
+
+def _attach_segment(name: str):
+    """Attach an existing segment without adopting its lifecycle.
+
+    Python's resource tracker registers *attachments* as if they were
+    creations before 3.13, so a worker exiting would try to unlink a
+    segment the parent still owns.  Unregistering after the fact is
+    wrong too: under fork the worker shares the parent's tracker, so
+    the unregister would erase the *parent's* registration and its
+    later ``unlink`` would trip a tracker KeyError.  Instead the
+    registration is suppressed for the duration of the attach (the
+    3.13+ ``track=False`` semantics), leaving the parent as the sole
+    registered owner.
+    """
+    try:  # pragma: no cover - interpreter-version dependent
+        from multiprocessing import resource_tracker
+
+        register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+    except Exception:
+        return _shared_memory.SharedMemory(name=name)
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = register
+
+
+class SharedTableHandle:
+    """Picklable locator of a table published with ``to_shared()``."""
+
+    __slots__ = ("name", "rows", "dim")
+
+    def __init__(self, name: str, rows: int, dim: int) -> None:
+        self.name = name
+        self.rows = rows
+        self.dim = dim
+
+    def __repr__(self) -> str:
+        return f"SharedTableHandle({self.name!r}, rows={self.rows}, dim={self.dim})"
+
+    def __getstate__(self):
+        return (self.name, self.rows, self.dim)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.rows, self.dim = state
+
+
+class SharedTableBlock:
+    """Parent-side owner of one published shared-memory segment."""
+
+    __slots__ = ("segment", "handle")
+
+    def __init__(self, segment, handle: SharedTableHandle) -> None:
+        self.segment = segment
+        self.handle = handle
+
+    def close(self, unlink: bool = True) -> None:
+        """Close (and by default unlink) the segment; idempotent."""
+        segment, self.segment = self.segment, None
+        if segment is None:
+            return
+        segment.close()
+        if unlink:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedTableBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # -- flat candidate-range machinery ------------------------------------

@@ -21,6 +21,10 @@ from repro.geometry.columnar import (
     require_numpy,
     sweep_pairs,
 )
+from repro.geometry.compiled import (
+    intersect_pairs_compiled,
+    sweep_pairs_compiled,
+)
 from repro.geometry.mbr import MBR, total_mbr
 from repro.geometry.objects import SpatialObject
 from repro.grid.columnar import ColumnarGrid, grid_join_pairs
@@ -39,10 +43,13 @@ __all__ = [
     "grid_kernel",
     "LOCAL_KERNELS",
     "COLUMNAR_KERNELS",
+    "COMPILED_KERNELS",
     "average_side_length",
     "nested_kernel_columnar",
     "sweep_kernel_columnar",
     "grid_kernel_columnar",
+    "nested_kernel_compiled",
+    "sweep_kernel_compiled",
 ]
 
 Emit = Callable[[SpatialObject, SpatialObject], None]
@@ -296,5 +303,48 @@ def grid_kernel_columnar(
 COLUMNAR_KERNELS = {
     "nested": nested_kernel_columnar,
     "sweep": sweep_kernel_columnar,
+    "grid": grid_kernel_columnar,
+}
+
+
+# --------------------------------------------------------------------------
+# Compiled kernels
+#
+# Same candidate geometry and counter semantics as the columnar registry
+# above; the nested and sweep entries dispatch to the jitted (or, without
+# numba, numpy-twin) loops of :mod:`repro.geometry.compiled`.  The grid
+# kernel is already dominated by hash-join numpy primitives, so the
+# compiled tier reuses the columnar implementation — and TOUCH replaces
+# it wholesale with the flattened range descent (see
+# :func:`repro.core.local_join.probe_assigned_nodes_compiled`).
+# --------------------------------------------------------------------------
+def nested_kernel_compiled(
+    table_a: CoordinateTable,
+    table_b: CoordinateTable,
+    stats: JoinStatistics,
+):
+    """Batch nested loop lowered to a scalar jitted double loop."""
+    require_numpy()
+    idx_a, idx_b = intersect_pairs_compiled(table_a, table_b)
+    stats.comparisons += len(table_a) * len(table_b)
+    return idx_a, idx_b
+
+
+def sweep_kernel_compiled(
+    table_a: CoordinateTable,
+    table_b: CoordinateTable,
+    stats: JoinStatistics,
+):
+    """Forward plane sweep lowered to jitted per-anchor window scans."""
+    require_numpy()
+    idx_a, idx_b, candidates = sweep_pairs_compiled(table_a, table_b)
+    stats.comparisons += candidates
+    return idx_a, idx_b
+
+
+#: Compiled kernel registry, keyed like :data:`LOCAL_KERNELS`.
+COMPILED_KERNELS = {
+    "nested": nested_kernel_compiled,
+    "sweep": sweep_kernel_compiled,
     "grid": grid_kernel_columnar,
 }

@@ -128,7 +128,7 @@ class PBSMJoin(SpatialJoinAlgorithm):
             universe = total_mbr(o.mbr for o in objects_a).union(
                 total_mbr(o.mbr for o in objects_b)
             )
-        backend = resolve_backend(self.backend)
+        backend = resolve_backend(self.backend, allow_compiled=False)
         stats.extra["backend"] = backend
         if backend == "columnar":
             return self._execute_columnar(objects_a, objects_b, universe, stats)
@@ -279,7 +279,7 @@ class PBSMJoin(SpatialJoinAlgorithm):
         universe = self.universe
         if universe is None:
             universe = total_mbr(o.mbr for o in objects_a)
-        backend = resolve_backend(self.backend)
+        backend = resolve_backend(self.backend, allow_compiled=False)
         if backend == "columnar":
             from repro.grid.columnar import sort_entries
 

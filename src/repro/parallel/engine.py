@@ -7,11 +7,18 @@ after another, :class:`ParallelChunkedJoin` actually ships them to a
 
 1. **decompose** — the universe is cut by the shared
    :class:`~repro.parallel.decompose.Decomposition` (slabs or tiles) and
-   each region's members are sliced out of the columnar
-   :class:`~repro.geometry.columnar.CoordinateTable` as contiguous
-   float64 coordinate blocks plus int64 id vectors (no per-object Python
-   lists cross the process boundary; without numpy the engine degrades
-   to compact ``(oid, lo, hi)`` tuples);
+   each dataset is published **once** as a
+   ``multiprocessing.shared_memory`` block
+   (:meth:`~repro.geometry.columnar.CoordinateTable.to_shared`); each
+   region then ships only its int64 member-row indices, and workers
+   attach zero-copy views
+   (:meth:`~repro.geometry.columnar.CoordinateTable.shm_slice`) — no
+   coordinate buffer is ever pickled on this path
+   (``stats.extra["pickled_coord_bytes"] == 0``).  When shared memory
+   (or numpy) is unavailable — or ``handoff="pickle"`` is forced — the
+   engine falls back to the previous per-region pickled float64
+   coordinate blocks plus int64 id vectors, and without numpy it
+   degrades further to compact ``(oid, lo, hi)`` tuples;
 2. **worker_join** — each worker rebuilds its region's objects, runs a
    fresh algorithm instance from a picklable
    :class:`~repro.joins.registry.AlgorithmSpec`, and applies the shared
@@ -30,14 +37,21 @@ after another, :class:`ParallelChunkedJoin` actually ships them to a
    ``worker_seconds_sum`` (the sequential-equivalent work).
 
 Pair sets and summed counters are bit-identical to the sequential
-engines for the same ``(kind, n_chunks)``; the parity suite
-(``tests/test_parallel_parity.py``) pins that for every registered
+engines for the same ``(kind, n_chunks)`` — and identical between the
+shared-memory and pickle hand-offs; the parity suite
+(``tests/test_parallel_parity.py``) pins both for every registered
 algorithm.
 
-Worker pools are cached per ``(start_method, workers)`` and reused
-across joins (fork start-up is cheap, but spawn is not); call
-:func:`shutdown_pools` to release them explicitly — an ``atexit`` hook
-does so at interpreter shutdown.
+Worker pools (:class:`concurrent.futures.ProcessPoolExecutor`) are
+cached per ``(start_method, workers)`` and reused across joins (fork
+start-up is cheap, but spawn is not); call :func:`shutdown_pools` to
+release them explicitly — an ``atexit`` hook does so at interpreter
+shutdown, so repeated engine use never leaks semaphores or worker
+processes.  A worker killed mid-join surfaces as
+:class:`WorkerCrashError` (the executor raises ``BrokenProcessPool``
+instead of hanging like ``multiprocessing.Pool.map``), the broken
+executor is dropped from the cache, and the parent unlinks its shared
+blocks in ``finally`` so ``/dev/shm`` is never stranded.
 """
 
 from __future__ import annotations
@@ -46,8 +60,15 @@ import atexit
 import multiprocessing
 import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.geometry.columnar import HAVE_NUMPY, CoordinateTable, axes_overlap_mask
+from repro.geometry.columnar import (
+    HAVE_NUMPY,
+    HAVE_SHM,
+    CoordinateTable,
+    axes_overlap_mask,
+)
 from repro.geometry.mbr import MBR, total_mbr
 from repro.geometry.objects import SpatialObject
 from repro.joins.base import Pair, SpatialJoinAlgorithm
@@ -59,11 +80,27 @@ from repro.parallel.decompose import (
 )
 from repro.stats.counters import JoinStatistics
 
-__all__ = ["ParallelChunkedJoin", "shutdown_pools"]
+__all__ = ["ParallelChunkedJoin", "WorkerCrashError", "shutdown_pools"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died mid-join (killed, OOM, hard crash).
+
+    Raised in place of the executor's ``BrokenProcessPool`` so callers
+    get the engine's cleanup guarantees spelled out: the shared-memory
+    blocks were unlinked, the broken executor was evicted from the
+    cache (the next join builds a fresh one), and ``stats`` carries the
+    phase breakdown collected up to the crash
+    (``stats.extra["worker_crashed"]`` is set).
+    """
+
+    def __init__(self, message: str, stats: JoinStatistics) -> None:
+        super().__init__(message)
+        self.stats = stats
 
 
 # -- pool management ----------------------------------------------------
-_POOLS: dict[tuple[str, int], multiprocessing.pool.Pool] = {}
+_EXECUTORS: dict[tuple[str, int], ProcessPoolExecutor] = {}
 
 
 def _default_start_method() -> str:
@@ -72,25 +109,34 @@ def _default_start_method() -> str:
     return "fork" if "fork" in methods else multiprocessing.get_start_method()
 
 
-def _get_pool(start_method: str, workers: int) -> multiprocessing.pool.Pool:
+def _get_executor(start_method: str, workers: int) -> ProcessPoolExecutor:
     key = (start_method, workers)
-    pool = _POOLS.get(key)
-    if pool is None:
-        if not _POOLS:
+    executor = _EXECUTORS.get(key)
+    if executor is None:
+        if not _EXECUTORS:
             # Registered on first use, not at import: merely importing
             # the engine must stay side-effect free.
             atexit.register(shutdown_pools)
-        pool = multiprocessing.get_context(start_method).Pool(processes=workers)
-        _POOLS[key] = pool
-    return pool
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(start_method),
+        )
+        _EXECUTORS[key] = executor
+    return executor
+
+
+def _drop_executor(start_method: str, workers: int) -> None:
+    """Evict (and best-effort shut down) a broken executor."""
+    executor = _EXECUTORS.pop((start_method, workers), None)
+    if executor is not None:
+        executor.shutdown(wait=False, cancel_futures=True)
 
 
 def shutdown_pools() -> None:
-    """Terminate and forget every cached worker pool."""
-    while _POOLS:
-        _, pool = _POOLS.popitem()
-        pool.terminate()
-        pool.join()
+    """Shut down and forget every cached worker pool."""
+    while _EXECUTORS:
+        _, executor = _EXECUTORS.popitem()
+        executor.shutdown(wait=True, cancel_futures=True)
 
 
 # -- chunk slicing ------------------------------------------------------
@@ -108,6 +154,13 @@ class _ColumnarSlicer:
     shipped with its class mask, both resolved on the decomposition's
     shared-edge ruler via one ``searchsorted`` per partitioned axis —
     bit-identical to :meth:`Decomposition.owner_cell`'s ``bisect_right``.
+
+    With ``handoff="shm"`` the whole table is published once as a
+    shared-memory block in the constructor; every chunk then carries the
+    picklable :class:`~repro.geometry.columnar.SharedTableHandle` plus
+    the member row indices instead of sliced coordinate buffers, and
+    :meth:`close` unlinks the block (the engine calls it in
+    ``finally``).
     """
 
     def __init__(
@@ -115,9 +168,12 @@ class _ColumnarSlicer:
         objects: list[SpatialObject],
         decomposition: Decomposition,
         dedup: str,
+        handoff: str = "pickle",
     ) -> None:
         self.table = CoordinateTable.from_objects(objects)
         self.dedup = dedup
+        self.handoff = handoff
+        self.block = self.table.to_shared() if handoff == "shm" else None
         if dedup != "partition":
             return
         import numpy as np
@@ -134,13 +190,27 @@ class _ColumnarSlicer:
                 owner = np.searchsorted(edges, source, side="right") - 1
                 out.append(np.clip(owner, 0, last))
 
+    def close(self) -> None:
+        """Unlink the published shared block (idempotent)."""
+        if self.block is not None:
+            self.block.close(unlink=True)
+
+    def _payload(self, member, classes):
+        import numpy as np
+
+        if self.block is not None:
+            indices = np.flatnonzero(member).astype(np.int64, copy=False)
+            return ("shm", self.block.handle, indices, classes)
+        table = self.table
+        return ("table", table.coords[member], table.ids[member], classes)
+
     def chunk(self, region):
         table = self.table
         if self.dedup != "partition":
             mask = axes_overlap_mask(table, region.axes, region.lows, region.highs)
             if not mask.any():
                 return None
-            return ("table", table.coords[mask], table.ids[mask], None)
+            return self._payload(mask, None)
         import numpy as np
 
         member = np.ones(len(table), dtype=bool)
@@ -154,7 +224,7 @@ class _ColumnarSlicer:
             classes += (self._owner_lo[coordinate][member] == cell).astype(
                 np.int64
             ) << coordinate
-        return ("table", table.coords[member], table.ids[member], classes)
+        return self._payload(member, classes)
 
 
 class _ObjectSlicer:
@@ -165,10 +235,14 @@ class _ObjectSlicer:
         objects: list[SpatialObject],
         decomposition: Decomposition,
         dedup: str,
+        handoff: str = "pickle",
     ) -> None:
         self.objects = objects
         self.decomposition = decomposition
         self.dedup = dedup
+
+    def close(self) -> None:
+        """Nothing published, nothing to release."""
 
     def chunk(self, region):
         if self.dedup != "partition":
@@ -184,9 +258,30 @@ class _ObjectSlicer:
         return ("objects", [(o.oid, o.mbr.lo, o.mbr.hi) for o in members], classes)
 
 
-def _make_slicer(objects: list[SpatialObject], decomposition, dedup: str):
+def _make_slicer(
+    objects: list[SpatialObject], decomposition, dedup: str, handoff: str
+):
     slicer = _ColumnarSlicer if HAVE_NUMPY else _ObjectSlicer
-    return slicer(objects, decomposition, dedup)
+    return slicer(objects, decomposition, dedup, handoff)
+
+
+#: Valid values of the ``handoff`` selector.
+HANDOFF_MODES = ("auto", "shm", "pickle")
+
+
+def _resolve_handoff(handoff: str) -> str:
+    """Resolve ``"auto"`` against what this interpreter can actually do."""
+    if handoff == "pickle":
+        return "pickle"
+    usable = HAVE_NUMPY and HAVE_SHM
+    if handoff == "shm":
+        if not usable:
+            raise RuntimeError(
+                "handoff='shm' requires numpy and multiprocessing."
+                "shared_memory; use handoff='auto' to fall back"
+            )
+        return "shm"
+    return "shm" if usable else "pickle"
 
 
 # -- worker-side code ---------------------------------------------------
@@ -194,7 +289,14 @@ def _make_slicer(objects: list[SpatialObject], decomposition, dedup: str):
 
 def _unpack_chunk(payload):
     """Rebuild the region's objects (and class masks) inside the worker."""
-    if payload[0] == "table":
+    tag = payload[0]
+    if tag == "shm":
+        # Attach the parent's shared block, copy out just this region's
+        # rows, detach.  The worker keeps no reference to the segment.
+        _tag, handle, indices, classes = payload
+        objects = CoordinateTable.shm_slice(handle, indices).to_objects()
+        return objects, None if classes is None else classes.tolist()
+    if tag == "table":
         _tag, coords, ids, classes = payload
         objects = CoordinateTable(coords, ids).to_objects()
         return objects, None if classes is None else classes.tolist()
@@ -282,6 +384,13 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         nothing from the engine; see :mod:`repro.partition.classes`).
     start_method:
         ``multiprocessing`` start method; default prefers ``fork``.
+    handoff:
+        How coordinate data reaches the workers.  ``"auto"`` (default):
+        one shared-memory block per side with per-region index views
+        when numpy and ``multiprocessing.shared_memory`` are available,
+        else the pickle path.  ``"shm"`` forces shared memory (raises
+        when unavailable); ``"pickle"`` forces the per-region pickled
+        buffers.  Pair sets and counters are identical either way.
     """
 
     name = "Parallel"
@@ -299,6 +408,7 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         axis: int = 0,
         dedup: str = "reference",
         start_method: str | None = None,
+        handoff: str = "auto",
         **overrides,
     ) -> None:
         if workers < 1:
@@ -307,6 +417,11 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
             raise ValueError(
                 f"unknown dedup mode {dedup!r}; expected one of "
                 f"{', '.join(self.DEDUP_MODES)}"
+            )
+        if handoff not in HANDOFF_MODES:
+            raise ValueError(
+                f"unknown handoff mode {handoff!r}; expected one of "
+                f"{', '.join(HANDOFF_MODES)}"
             )
         if n_chunks is not None and n_chunks < 1:
             raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
@@ -339,6 +454,7 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         self.kind = kind
         self.axis = axis
         self.dedup = dedup
+        self.handoff = handoff
         self.start_method = start_method or _default_start_method()
         chunk_label = "auto" if n_chunks is None else str(n_chunks)
         suffix = "" if kind == "slabs" else f":{kind}"
@@ -353,6 +469,7 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
             "decompose": self.kind,
             "axis": self.axis,
             "dedup": self.dedup,
+            "handoff": self.handoff,
             "start_method": self.start_method,
         }
 
@@ -365,17 +482,20 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         n_chunks = self.n_chunks or adaptive_chunk_count(
             len(objects_a) + len(objects_b), self.workers
         )
+        handoff = _resolve_handoff(self.handoff)
         stats.extra["workers"] = self.workers
         stats.extra["n_chunks"] = n_chunks
         stats.extra["decompose"] = self.kind
         stats.extra["dedup"] = self.dedup
+        stats.extra["handoff"] = handoff
+        stats.extra["pickled_coord_bytes"] = 0
         stats.extra["decompose_seconds"] = 0.0
         stats.extra["worker_join_seconds"] = 0.0
         stats.extra["merge_seconds"] = 0.0
         if not objects_a or not objects_b:
             return []
 
-        # Phase 1: decompose — cut the universe, slice member buffers.
+        # Phase 1: decompose — cut the universe, slice member views.
         start = time.perf_counter()
         universe = total_mbr(o.mbr for o in objects_a).union(
             total_mbr(o.mbr for o in objects_b)
@@ -384,32 +504,66 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
             universe, kind=self.kind, n_chunks=n_chunks, axis=self.axis
         )
         spec = self._wire_spec()
-        slicer_a = _make_slicer(objects_a, decomposition, self.dedup)
-        slicer_b = _make_slicer(objects_b, decomposition, self.dedup)
-        tasks = []
-        for region in decomposition.regions:
-            chunk_a = slicer_a.chunk(region)
-            if chunk_a is None:
-                continue
-            chunk_b = slicer_b.chunk(region)
-            if chunk_b is None:
-                continue
-            tasks.append(
-                (spec, decomposition, region.index, chunk_a, chunk_b, self.dedup)
-            )
-        stats.extra["decompose_seconds"] = time.perf_counter() - start
-        stats.extra["decompose"] = decomposition.kind
-        if not tasks:
-            return []
+        slicer_a = _make_slicer(objects_a, decomposition, self.dedup, handoff)
+        try:
+            slicer_b = _make_slicer(objects_b, decomposition, self.dedup, handoff)
+        except BaseException:
+            slicer_a.close()
+            raise
+        try:
+            pickled_coord_bytes = 0
+            tasks = []
+            for region in decomposition.regions:
+                chunk_a = slicer_a.chunk(region)
+                if chunk_a is None:
+                    continue
+                chunk_b = slicer_b.chunk(region)
+                if chunk_b is None:
+                    continue
+                for chunk in (chunk_a, chunk_b):
+                    if chunk[0] == "table":
+                        pickled_coord_bytes += chunk[1].nbytes + chunk[2].nbytes
+                tasks.append(
+                    (spec, decomposition, region.index, chunk_a, chunk_b, self.dedup)
+                )
+            # Instrumented so tests can assert the shm hot path never
+            # pickles a coordinate buffer (indices and ids of the pickle
+            # fallback are the only numeric payloads).
+            stats.extra["pickled_coord_bytes"] = pickled_coord_bytes
+            stats.extra["decompose_seconds"] = time.perf_counter() - start
+            stats.extra["decompose"] = decomposition.kind
+            if not tasks:
+                return []
 
-        # Phase 2: worker_join — fan the regions out over the pool.
-        start = time.perf_counter()
-        pool = _get_pool(self.start_method, self.workers)
-        outcomes = pool.map(_run_chunk, tasks)
-        worker_join_seconds = time.perf_counter() - start
+            # Phase 2: worker_join — fan the regions out over the pool.
+            start = time.perf_counter()
+            executor = _get_executor(self.start_method, self.workers)
+            try:
+                outcomes = list(executor.map(_run_chunk, tasks))
+            except BrokenProcessPool as exc:
+                # A dead worker poisons the whole executor: evict it so
+                # the next join starts clean, and surface the crash with
+                # the stats collected so far attached.
+                _drop_executor(self.start_method, self.workers)
+                stats.extra["worker_crashed"] = True
+                stats.extra["worker_join_seconds"] = time.perf_counter() - start
+                raise WorkerCrashError(
+                    f"a worker process died while joining {len(tasks)} "
+                    f"regions ({self.name}); shared-memory blocks were "
+                    "unlinked and the worker pool was discarded",
+                    stats,
+                ) from exc
+            worker_join_seconds = time.perf_counter() - start
+        finally:
+            # Whatever happened above, the parent owns the shared blocks
+            # and must unlink them — a crashed worker cannot strand
+            # segments in /dev/shm.
+            slicer_a.close()
+            slicer_b.close()
 
-        # Phase 3: merge — deterministic region order (pool.map preserves
-        # task order): counters sum, memory maxes, pairs concatenate.
+        # Phase 3: merge — deterministic region order (executor.map
+        # preserves task order): counters sum, memory maxes, pairs
+        # concatenate.
         start = time.perf_counter()
         pairs: list[Pair] = []
         duplicates = 0

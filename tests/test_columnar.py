@@ -129,12 +129,30 @@ class TestCoordinateTable:
         assert overlap_mask(table, (1.0, 1.0), (2.0, 2.0)).tolist() == [True, False]
 
     def test_validation(self):
-        with pytest.raises(ValueError, match="zero objects"):
-            CoordinateTable.from_objects([])
         with pytest.raises(ValueError, match="shape"):
             CoordinateTable(np.zeros((2, 3)), np.zeros(2))
         with pytest.raises(ValueError, match="ids"):
             CoordinateTable(np.zeros((2, 4)), np.zeros(3))
+
+    def test_empty_inputs_build_typed_empty_tables(self):
+        # Empty sides are legal: a (0, 2D) float64 table with a
+        # well-defined dim instead of a shape-inference error.
+        for table in (
+            CoordinateTable.from_objects([]),
+            CoordinateTable.from_mbrs([]),
+        ):
+            assert len(table) == 0
+            assert table.dim == 3  # DEFAULT_DIM
+            assert table.coords.shape == (0, 6)
+            assert table.coords.dtype == np.float64
+            assert table.ids.dtype == np.int64
+        assert CoordinateTable.from_objects([], dim=2).coords.shape == (0, 4)
+        assert CoordinateTable.from_mbrs([], dim=2).dim == 2
+
+    def test_empty_bounds_raises_named_error(self):
+        table = CoordinateTable.from_mbrs([])
+        with pytest.raises(ValueError, match=r"bounds\(\) of an empty table"):
+            table.bounds()
 
     def test_concat_ranges(self):
         anchors, values = concat_ranges(np.array([5, 0, 7]), np.array([2, 0, 3]))

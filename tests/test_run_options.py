@@ -283,3 +283,55 @@ class TestDeprecationShim:
             legacy = run_algorithm("TOUCH", a, b, EPS, workers=2)
         modern = run_algorithm("TOUCH", a, b, EPS, options=RunOptions(workers=2))
         assert legacy.result_pairs == modern.result_pairs
+
+    def test_warning_points_at_caller(self, pair):
+        """The shim's stacklevel must attribute the warning to the call
+        site of ``run_algorithm``, not to the runner internals."""
+        a, b = pair
+        with pytest.warns(DeprecationWarning) as records:
+            run_algorithm("TOUCH", a, b, EPS, workers=0)
+        assert len(records) == 1
+        assert records[0].filename == __file__
+
+
+class TestHandoffOption:
+    """The shared-memory hand-off mode rides the same options stack."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown handoff mode"):
+            RunOptions(handoff="carrier-pigeon")
+
+    def test_modes_match_engine(self):
+        from repro.bench.config import HANDOFF_MODES
+        from repro.parallel.engine import HANDOFF_MODES as ENGINE_MODES
+
+        assert HANDOFF_MODES == ENGINE_MODES
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HANDOFF", "pickle")
+        assert RunOptions.from_env().handoff == "pickle"
+        monkeypatch.setenv("REPRO_HANDOFF", "postal")
+        with pytest.raises(ValueError, match="REPRO_HANDOFF"):
+            RunOptions.from_env()
+
+    def test_over_and_describe(self):
+        base = RunOptions(handoff="shm")
+        assert base.over(RunOptions()).handoff == "shm"
+        assert RunOptions(handoff="pickle").over(base).handoff == "pickle"
+        assert base.describe() == {"handoff": "shm"}
+
+    @pytest.mark.parallel
+    def test_handoff_flows_to_engine(self, pair):
+        a, b = pair
+        record = run_algorithm(
+            "TOUCH", a, b, EPS, options=RunOptions(workers=2, handoff="pickle")
+        )
+        assert record.extra["handoff"] == "pickle"
+        assert record.extra["pickled_coord_bytes"] > 0
+
+    @pytest.mark.parallel
+    def test_env_handoff_flows_through(self, pair, monkeypatch):
+        a, b = pair
+        monkeypatch.setenv("REPRO_HANDOFF", "pickle")
+        record = run_algorithm("TOUCH", a, b, EPS, options=RunOptions(workers=2))
+        assert record.extra["handoff"] == "pickle"

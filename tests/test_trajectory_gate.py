@@ -1,0 +1,130 @@
+"""The benchmark-trajectory comparison gate must never crash the run.
+
+``benchmarks/trajectory.py`` compares a fresh run against a committed
+``BENCH_PR<N>.json`` from an earlier PR.  That file is data from
+another machine and another code revision: rows may be missing, keys
+may be absent, entries may be malformed.  Every such case must degrade
+to a printed "no baseline" note — only genuine regressions and pair
+mismatches become warnings.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "trajectory",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "trajectory.py",
+)
+trajectory = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(trajectory)
+
+
+def _row(seconds=1.0, pairs=10, algorithm="TOUCH", backend="columnar",
+         workload="fig9/uniform/a1-b2/eps5"):
+    return {
+        "algorithm": algorithm,
+        "backend": backend,
+        "workload": workload,
+        "seconds": seconds,
+        "pairs": pairs,
+    }
+
+
+class TestCompareGate:
+    def test_clean_match_no_warnings(self, capsys):
+        warnings = trajectory.compare_points(
+            [_row(seconds=1.0)], {"rows": [_row(seconds=1.0)]}, 0.25
+        )
+        assert warnings == []
+        assert "no baseline" not in capsys.readouterr().out
+
+    def test_regression_warns(self):
+        warnings = trajectory.compare_points(
+            [_row(seconds=2.0)], {"rows": [_row(seconds=1.0)]}, 0.25
+        )
+        assert len(warnings) == 1 and "regression threshold" in warnings[0]
+
+    def test_pair_mismatch_warns(self):
+        warnings = trajectory.compare_points(
+            [_row(pairs=11)], {"rows": [_row(pairs=10)]}, 0.25
+        )
+        assert len(warnings) == 1 and "pairs changed" in warnings[0]
+
+    def test_missing_row_skips_with_note(self, capsys):
+        warnings = trajectory.compare_points(
+            [_row(backend="compiled")], {"rows": [_row()]}, 0.25
+        )
+        assert warnings == []
+        out = capsys.readouterr().out
+        assert "no baseline for TOUCH [compiled]" in out
+        assert "skipping comparison" in out
+
+    def test_missing_seconds_key_skips_with_note(self, capsys):
+        old = _row()
+        del old["seconds"]
+        warnings = trajectory.compare_points([_row()], {"rows": [old]}, 0.25)
+        assert warnings == []
+        assert "no baseline timing" in capsys.readouterr().out
+
+    def test_missing_pairs_key_still_compares_timing(self):
+        old = _row(seconds=1.0)
+        del old["pairs"]
+        warnings = trajectory.compare_points(
+            [_row(seconds=5.0)], {"rows": [old]}, 0.25
+        )
+        assert len(warnings) == 1 and "regression threshold" in warnings[0]
+
+    @pytest.mark.parametrize(
+        "previous",
+        [
+            {},
+            {"rows": None},
+            {"rows": "not-a-list"[:0]},
+            {"rows": [None, 42, {"algorithm": "TOUCH"}, []]},
+            [],
+            None,
+        ],
+    )
+    def test_malformed_previous_never_crashes(self, previous, capsys):
+        warnings = trajectory.compare_points([_row()], previous, 0.25)
+        assert warnings == []
+        assert "skipping comparison" in capsys.readouterr().out
+
+    def test_nonnumeric_seconds_skips(self, capsys):
+        warnings = trajectory.compare_points(
+            [_row()], {"rows": [_row(seconds="fast")]}, 0.25
+        )
+        assert warnings == []
+        assert "no baseline timing" in capsys.readouterr().out
+
+
+class TestPreviousPoint:
+    def test_picks_latest_older_pr(self, tmp_path):
+        for pr, seconds in ((5, 3.0), (6, 2.0), (7, 1.0)):
+            (tmp_path / f"BENCH_PR{pr}.json").write_text(
+                json.dumps({"rows": [_row(seconds=seconds)]})
+            )
+        out = tmp_path / "BENCH_PR7.json"
+        found = trajectory.previous_point(tmp_path, out, 7)
+        assert found is not None
+        name, data = found
+        assert name == "BENCH_PR6.json"
+        assert data["rows"][0]["seconds"] == 2.0
+
+    def test_unreadable_previous_reports_and_continues(self, tmp_path, capsys):
+        (tmp_path / "BENCH_PR6.json").write_text("{not json")
+        found = trajectory.previous_point(
+            tmp_path, tmp_path / "BENCH_PR7.json", 7
+        )
+        assert found is None
+        assert "could not read previous point" in capsys.readouterr().out
+
+    def test_no_candidates(self, tmp_path):
+        assert trajectory.previous_point(
+            tmp_path, tmp_path / "BENCH_PR7.json", 7
+        ) is None
