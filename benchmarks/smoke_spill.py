@@ -1,0 +1,169 @@
+"""Spill-path smoke benchmark: budgeted joins vs the in-memory baseline.
+
+Runs the Figure-9 uniform workload unbudgeted, then through the memory
+governor at shrinking byte budgets (default: 1/4 of the estimated
+footprint), asserting the *pair sets are identical* at every budget and
+that every budgeted run actually spilled partitions to disk and cleaned
+them up afterwards — the three invariants of the PR-8 memory governor.
+Any violation raises; the reported slowdown factors are informational
+(spilling trades wall-clock for memory by design).
+
+Usage::
+
+    python benchmarks/smoke_spill.py --out bench-spill.json
+    python benchmarks/smoke_spill.py --scale medium --divisors 2 4 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.config import SCALES
+from repro.bench.workloads import synthetic_pair
+from repro.datasets.transform import inflate
+from repro.joins.base import dimensionality
+from repro.joins.registry import ALGORITHMS, make_algorithm
+from repro.memory import SPILL_COUNTER_KEYS, BudgetedSpatialJoin
+
+DEFAULT_ALGORITHMS = ("TOUCH", "TwoLayer-500")
+DEFAULT_DIVISORS = (4,)
+
+
+def run_baseline(algorithm: str, build, probe) -> dict:
+    start = time.perf_counter()
+    result = make_algorithm(algorithm).join(build, probe)
+    wall = time.perf_counter() - start
+    return {
+        "algorithm": algorithm,
+        "budget": "unbounded",
+        "wall_seconds": wall,
+        "result_pairs": len(result.pairs),
+        "pair_set": result.pair_set(),
+    }
+
+
+def run_budgeted(algorithm: str, build, probe, budget: int, label: str) -> dict:
+    joiner = BudgetedSpatialJoin(algorithm, max_bytes=budget)
+    start = time.perf_counter()
+    result = joiner.join(build, probe)
+    wall = time.perf_counter() - start
+    if joiner.last_spill_dir and os.path.exists(joiner.last_spill_dir):
+        raise AssertionError(
+            f"{algorithm} at {label} left spill files in {joiner.last_spill_dir}"
+        )
+    run = {
+        "algorithm": algorithm,
+        "budget": label,
+        "budget_bytes": budget,
+        "wall_seconds": wall,
+        "result_pairs": len(result.pairs),
+        "pair_set": result.pair_set(),
+    }
+    for key in SPILL_COUNTER_KEYS:
+        run[key] = result.stats.extra.get(key, 0)
+    return run
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        choices=sorted(ALGORITHMS),
+        default=list(DEFAULT_ALGORITHMS),
+    )
+    parser.add_argument(
+        "--divisors",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_DIVISORS),
+        help="budget = footprint // divisor, one budgeted run per divisor",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write the spill report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    dataset_a, dataset_b = synthetic_pair("uniform", scale.large_a, n_b, scale)
+    build = inflate(dataset_a, scale.large_epsilon)
+    probe = list(dataset_b)
+    dim = dimensionality(build, probe)
+    print(
+        f"spill smoke on fig9-uniform/{args.scale} "
+        f"(|A|={len(dataset_a)}, |B|={len(dataset_b)}, "
+        f"eps={scale.large_epsilon:g})"
+    )
+
+    runs = []
+    for algorithm in args.algorithms:
+        baseline = run_baseline(algorithm, build, probe)
+        runs.append(baseline)
+        footprint = make_algorithm(algorithm).estimate_bytes(
+            len(build), len(probe), dim
+        )
+        print(
+            f"  {algorithm:14s} unbounded   {baseline['wall_seconds']:8.3f}s  "
+            f"pairs={baseline['result_pairs']}  footprint={footprint}B"
+        )
+        for divisor in args.divisors:
+            budget = max(1, footprint // divisor)
+            run = run_budgeted(algorithm, build, probe, budget, f"1/{divisor}")
+            runs.append(run)
+            # Hard invariants: exact parity, and the spill path actually ran.
+            if run["pair_set"] != baseline["pair_set"]:
+                missing = len(baseline["pair_set"] - run["pair_set"])
+                spurious = len(run["pair_set"] - baseline["pair_set"])
+                raise AssertionError(
+                    f"{algorithm} at budget 1/{divisor} diverges: "
+                    f"{missing} missing pairs, {spurious} spurious pairs"
+                )
+            if run["spilled_partitions"] <= 0:
+                raise AssertionError(
+                    f"{algorithm} at budget 1/{divisor} spilled nothing — "
+                    "the smoke must exercise the spill path"
+                )
+            slowdown = (
+                run["wall_seconds"] / baseline["wall_seconds"]
+                if baseline["wall_seconds"] > 0
+                else float("nan")
+            )
+            print(
+                f"  {algorithm:14s} budget 1/{divisor}  "
+                f"{run['wall_seconds']:8.3f}s  "
+                f"spilled={run['spilled_partitions']}  "
+                f"unspills={run['unspills']}  "
+                f"passes={run['spill_passes']}  "
+                f"slowdown={slowdown:.2f}x  parity=OK"
+            )
+    for run in runs:
+        del run["pair_set"]
+
+    if args.out is not None:
+        report = {
+            "workload": {
+                "experiment": "fig9-uniform",
+                "n_a": len(dataset_a),
+                "n_b": len(dataset_b),
+                "epsilon": scale.large_epsilon,
+                "scale": scale.name,
+            },
+            "python": platform.python_version(),
+            "runs": runs,
+        }
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,10 @@
 
 Runs the medium Figure-9 (uniform) and Figure-11 (clustered) workloads
 for the headline algorithms, the ``repeated_probe`` build-once/
-probe-many workload, and the ``serve_load`` sharded scatter-gather
+probe-many workload, the ``serve_load`` sharded scatter-gather
 workload (one row per shard count, qps + p50/p99 in the row extras),
+and the ``bench_spill`` memory-governor workload (budgeted joins at a
+quarter of the estimated footprint, spill counters in the row extras),
 and writes a flat ``BENCH_PR<N>.json`` artifact at the repo root — the
 committed point of this PR's performance trajectory.  Row schema
 (stable across PRs, so points are comparable)::
@@ -69,6 +71,9 @@ SERVE_LOAD_SHARDS = (1, 2, 4)
 #: Batches issued / kept in flight per serve_load shard count.
 SERVE_LOAD_PROBES = 40
 SERVE_LOAD_CONCURRENCY = 8
+
+#: Budget fractions of the estimated footprint tracked by the spill rows.
+SPILL_DIVISORS = (4,)
 
 
 def run_figures(scale, backend: str | None) -> list[dict]:
@@ -230,6 +235,79 @@ def run_serve_load(scale, backend: str | None) -> list[dict]:
     return rows
 
 
+def run_spill(scale, backend: str | None) -> list[dict]:
+    """Memory-governor rows: budgeted joins at 1/4 footprint, parity asserted.
+
+    ``seconds`` is the budgeted join's wall-clock (the memory/disk
+    trade's cost); spill counters ride in the row extras.  Parity with
+    the unbudgeted join is asserted — a spill row that drops pairs must
+    never land in the trajectory.
+    """
+    from repro.datasets.transform import inflate
+    from repro.joins.base import dimensionality
+    from repro.joins.registry import make_algorithm
+    from repro.memory import BudgetedSpatialJoin
+
+    rows: list[dict] = []
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    dataset_a, dataset_b = synthetic_pair("uniform", scale.large_a, n_b, scale)
+    build = inflate(dataset_a, scale.large_epsilon)
+    probe = list(dataset_b)
+    dim = dimensionality(build, probe)
+    overrides = {"backend": backend} if backend else {}
+    resolved = backend or "auto"
+    for algorithm in ("TOUCH", "TwoLayer-500"):
+        baseline = make_algorithm(algorithm, **overrides).join(build, probe)
+        footprint = make_algorithm(algorithm, **overrides).estimate_bytes(
+            len(build), len(probe), dim
+        )
+        for divisor in SPILL_DIVISORS:
+            budget = max(1, footprint // divisor)
+            joiner = BudgetedSpatialJoin(
+                lambda: make_algorithm(algorithm, **overrides),
+                max_bytes=budget,
+            )
+            start = time.perf_counter()
+            result = joiner.join(build, probe)
+            wall = time.perf_counter() - start
+            if result.pair_set() != baseline.pair_set():
+                raise AssertionError(
+                    f"budgeted {algorithm} at 1/{divisor} footprint diverges "
+                    "from the unbudgeted join"
+                )
+            extra = result.stats.extra
+            if extra.get("spilled_partitions", 0) <= 0:
+                raise AssertionError(
+                    f"budgeted {algorithm} at 1/{divisor} footprint spilled "
+                    "nothing; the row would not measure the spill path"
+                )
+            workload = (
+                f"bench_spill/uniform/a{scale.large_a}-b{n_b}"
+                f"/eps{scale.large_epsilon:g}/budget1-{divisor}"
+            )
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "backend": resolved,
+                    "workload": workload,
+                    "seconds": wall,
+                    "pairs": len(result.pairs),
+                    "budget_bytes": budget,
+                    "spilled_partitions": extra["spilled_partitions"],
+                    "spill_bytes_written": extra["spill_bytes_written"],
+                    "unspills": extra["unspills"],
+                    "spill_passes": extra["spill_passes"],
+                }
+            )
+            print(
+                f"  {algorithm:14s} {workload:42s} "
+                f"{wall:8.3f}s  pairs={len(result.pairs)} "
+                f"spilled={extra['spilled_partitions']} "
+                f"unspills={extra['unspills']} (parity asserted)"
+            )
+    return rows
+
+
 def previous_point(
     root: Path, out: Path, current_pr: int | None
 ) -> "tuple[str, dict] | None":
@@ -316,7 +394,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
     parser.add_argument("--backend", default=None, help="geometry backend override")
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_PR7.json"), help="trajectory point to write"
+        "--out", type=Path, default=Path("BENCH_PR8.json"), help="trajectory point to write"
     )
     parser.add_argument(
         "--compare-root",
@@ -359,6 +437,7 @@ def main(argv: list[str] | None = None) -> int:
         rows.extend(probe_rows)
         warnings.extend(probe_warnings)
         rows.extend(run_serve_load(scale, args.backend))
+        rows.extend(run_spill(scale, args.backend))
 
     point = {
         "schema": "bench-trajectory/v1",

@@ -65,6 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
         "reference-point tests in the workers (default) or the "
         "duplicate-free two-layer class mini-joins (no dedup pass)",
     )
+    max_bytes_kwargs = dict(
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="memory budget per join (env REPRO_MAX_BYTES): joins whose "
+        "priced footprint exceeds it spill over-budget partitions to "
+        "disk and join them in passes; pair sets are identical to the "
+        "unbudgeted run",
+    )
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -73,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", **workers_kwargs)
     run.add_argument("--decompose", **decompose_kwargs)
     run.add_argument("--dedup", **dedup_kwargs)
+    run.add_argument("--max-bytes", **max_bytes_kwargs)
     run.add_argument("--json", type=Path, default=None, help="also write rows as JSON")
     run.add_argument(
         "--chart",
@@ -88,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     everything.add_argument("--workers", **workers_kwargs)
     everything.add_argument("--decompose", **decompose_kwargs)
     everything.add_argument("--dedup", **dedup_kwargs)
+    everything.add_argument("--max-bytes", **max_bytes_kwargs)
     everything.add_argument(
         "--out-dir", type=Path, default=None, help="write one JSON per experiment"
     )
@@ -194,6 +205,7 @@ def _cmd_run(
     workers: int | None = None,
     decompose: str | None = None,
     dedup: str | None = None,
+    max_bytes: int | None = None,
 ) -> int:
     result = run_experiment(
         experiment,
@@ -202,6 +214,7 @@ def _cmd_run(
         workers=workers,
         decompose=decompose,
         dedup=dedup,
+        max_bytes=max_bytes,
     )
     print_experiment(result)
     if chart_metric is not None:
@@ -228,6 +241,7 @@ def _cmd_all(
     workers: int | None = None,
     decompose: str | None = None,
     dedup: str | None = None,
+    max_bytes: int | None = None,
 ) -> int:
     for name in EXPERIMENTS:
         result = run_experiment(
@@ -237,6 +251,7 @@ def _cmd_all(
             workers=workers,
             decompose=decompose,
             dedup=dedup,
+            max_bytes=max_bytes,
         )
         print_experiment(result)
         if out_dir is not None:
@@ -406,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
             args.workers,
             args.decompose,
             args.dedup,
+            args.max_bytes,
         )
     if args.command == "all":
         return _cmd_all(
@@ -415,6 +431,7 @@ def main(argv: list[str] | None = None) -> int:
             args.workers,
             args.decompose,
             args.dedup,
+            args.max_bytes,
         )
     return 2  # pragma: no cover - argparse enforces the choices
 

@@ -252,6 +252,14 @@ class RunOptions:
         ``True`` for the process-wide default service, a live
         :class:`~repro.service.SpatialQueryService` for a private one,
         ``False`` for a one-shot join.  Not environment-settable.
+    max_bytes:
+        Memory budget in bytes (``REPRO_MAX_BYTES``).  Joins whose
+        priced footprint exceeds it run through the spilling
+        :class:`~repro.memory.budgeted.BudgetedSpatialJoin`; with
+        ``workers >= 1`` each worker gets an equal share, and with
+        ``reuse_index`` the budget governs the service's probes and
+        byte-accounted index cache.  ``None`` (default) means
+        unbudgeted.
     """
 
     workers: int | None = None
@@ -260,10 +268,20 @@ class RunOptions:
     backend: str | None = None
     handoff: str | None = None
     reuse_index: "bool | object | None" = None
+    max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.max_bytes is not None and (
+            isinstance(self.max_bytes, bool)
+            or not isinstance(self.max_bytes, int)
+            or self.max_bytes <= 0
+        ):
+            raise ValueError(
+                f"max_bytes must be a positive integer byte count, "
+                f"got {self.max_bytes!r}"
+            )
         if self.decompose is not None and self.decompose not in _decompose_kinds():
             raise ValueError(
                 f"unknown decompose kind {self.decompose!r}; expected one of "
@@ -301,6 +319,7 @@ class RunOptions:
             dedup=env_choice("REPRO_DEDUP", DEDUP_MODES),
             backend=env_choice("REPRO_BACKEND", _backend_names()),
             handoff=env_choice("REPRO_HANDOFF", HANDOFF_MODES),
+            max_bytes=env_int("REPRO_MAX_BYTES", minimum=1),
         )
 
     def over(self, base: "RunOptions") -> "RunOptions":
@@ -314,6 +333,7 @@ class RunOptions:
                 ("backend", self.backend),
                 ("handoff", self.handoff),
                 ("reuse_index", self.reuse_index),
+                ("max_bytes", self.max_bytes),
             )
             if value is not None
         }
@@ -322,7 +342,7 @@ class RunOptions:
     def describe(self) -> dict:
         """The non-default fields, for reports and reprs."""
         out = {}
-        for field in ("workers", "decompose", "dedup", "backend", "handoff"):
+        for field in ("workers", "decompose", "dedup", "backend", "handoff", "max_bytes"):
             value = getattr(self, field)
             if value is not None:
                 out[field] = value

@@ -25,6 +25,7 @@ from repro.bench.runner import (
     record_from_result,
     run_algorithm,
     use_backend,
+    use_max_bytes,
     use_parallel,
 )
 from repro.bench.workloads import (
@@ -750,6 +751,95 @@ def experiment_serve_load(scale: Scale) -> ExperimentResult:
     return out
 
 
+# --------------------------------------------------------------------------
+# Memory governor — budgeted joins with partition spilling
+# --------------------------------------------------------------------------
+#: Algorithms tracked by the spill benchmark: the paper's champion and
+#: the duplicate-free two-layer join.
+SPILL_ALGORITHMS = ("TOUCH", "TwoLayer-500")
+
+#: Budget fractions of the unbudgeted footprint the sweep shrinks to.
+SPILL_BUDGET_DIVISORS = (2, 4, 8)
+
+
+def experiment_bench_spill(scale: Scale) -> ExperimentResult:
+    """Budgeted joins at shrinking byte budgets, parity hard-asserted.
+
+    For each algorithm the Figure-9 uniform workload runs unbudgeted
+    first, then through :class:`~repro.memory.BudgetedSpatialJoin` at
+    1/2, 1/4 and 1/8 of the estimated footprint.  Three invariants are
+    *asserted*, not reported: every budgeted run returns the baseline's
+    exact pair set, every budgeted run actually spills
+    (``spilled_partitions > 0`` — otherwise the sweep measures
+    nothing), and the per-join spill directory is gone by the time the
+    join returns.  Rows carry the spill counters and the wall-clock
+    cost of trading memory for disk.
+    """
+    from repro.joins.base import dimensionality
+    from repro.memory import BudgetedSpatialJoin
+
+    out = ExperimentResult(
+        "bench_spill",
+        "Memory-budgeted joins: spill counters and cost vs byte budget",
+        notes=(
+            "TOUCH assumes both datasets fit in RAM; the memory governor "
+            "removes that assumption by spilling over-budget partitions "
+            "to disk and unspilling them in passes (AsterixDB-style "
+            "build/probe spill lifecycle).  Pair parity with the "
+            "in-memory join is exact at every budget."
+        ),
+        scale=scale.name,
+    )
+    ambient = current_backend()
+    overrides = {"backend": ambient} if ambient else {}
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    dataset_a, dataset_b = synthetic_pair("uniform", scale.large_a, n_b, scale)
+    build = inflate(dataset_a, scale.large_epsilon)
+    probe = list(dataset_b)
+    dim = dimensionality(build, probe)
+    for algorithm in SPILL_ALGORITHMS:
+        baseline = make_algorithm(algorithm, **overrides).join(build, probe)
+        baseline_pairs = baseline.pair_set()
+        footprint = make_algorithm(algorithm, **overrides).estimate_bytes(
+            len(build), len(probe), dim
+        )
+        record = record_from_result(
+            baseline, dataset_a.name, len(dataset_a), len(dataset_b),
+            scale.large_epsilon,
+        )
+        out.add(record, budget="unbounded", footprint_bytes=footprint)
+        for divisor in SPILL_BUDGET_DIVISORS:
+            budget = max(1, footprint // divisor)
+            joiner = BudgetedSpatialJoin(
+                lambda: make_algorithm(algorithm, **overrides),
+                max_bytes=budget,
+            )
+            result = joiner.join(build, probe)
+            if result.pair_set() != baseline_pairs:
+                raise AssertionError(
+                    f"{algorithm} at budget 1/{divisor} diverges from the "
+                    f"unbudgeted join: "
+                    f"{len(baseline_pairs - result.pair_set())} missing, "
+                    f"{len(result.pair_set() - baseline_pairs)} spurious"
+                )
+            if result.stats.extra.get("spilled_partitions", 0) <= 0:
+                raise AssertionError(
+                    f"{algorithm} at budget 1/{divisor} spilled nothing — "
+                    "the sweep must exercise the spill path to measure it"
+                )
+            if joiner.last_spill_dir and Path(joiner.last_spill_dir).exists():
+                raise AssertionError(
+                    f"{algorithm} at budget 1/{divisor} left spill files "
+                    f"behind in {joiner.last_spill_dir}"
+                )
+            record = record_from_result(
+                result, dataset_a.name, len(dataset_a), len(dataset_b),
+                scale.large_epsilon,
+            )
+            out.add(record, budget=f"1/{divisor}", footprint_bytes=footprint)
+    return out
+
+
 #: experiment id → definition, in paper order.
 EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "table1": experiment_table1,
@@ -771,6 +861,7 @@ EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "parallel_scaling": experiment_parallel_scaling,
     "repeated_probe": experiment_repeated_probe,
     "serve_load": experiment_serve_load,
+    "bench_spill": experiment_bench_spill,
 }
 
 
@@ -781,6 +872,7 @@ def run_experiment(
     workers: int | None = None,
     decompose: str | None = None,
     dedup: str | None = None,
+    max_bytes: int | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id at the given (or ambient) scale.
 
@@ -789,7 +881,9 @@ def run_experiment(
     scripts and the CLI ``--backend`` flag can sweep backends without
     touching the experiment definitions.  ``workers`` / ``decompose`` /
     ``dedup`` likewise scope the multiprocess engine (CLI ``--workers``
-    / ``--decompose`` / ``--dedup``) over every join; experiments that
+    / ``--decompose`` / ``--dedup``), and ``max_bytes`` scopes a memory
+    budget (CLI ``--max-bytes``) routing over-budget joins through the
+    spilling budgeted engine, over every join; experiments that
     pick their own engine per run (``parallel_scaling``), compare
     sequential algorithms pair-for-pair (``two_layer``) or run through
     the in-process query service (``repeated_probe``) are unaffected.
@@ -809,6 +903,8 @@ def run_experiment(
             stack.enter_context(
                 use_parallel(workers, decompose or "slabs", dedup or "reference")
             )
+        if max_bytes is not None:
+            stack.enter_context(use_max_bytes(max_bytes))
         # With no override the caller's ambient use_backend()/
         # REPRO_BACKEND/use_parallel() selections stay in effect.
         result = definition(scale)

@@ -27,6 +27,8 @@ __all__ = [
     "current_backend",
     "use_parallel",
     "current_parallel",
+    "use_max_bytes",
+    "current_max_bytes",
     "current_options",
 ]
 
@@ -115,6 +117,39 @@ def use_parallel(
         _ACTIVE_PARALLEL = previous
 
 
+#: Ambient memory-budget selection, mirroring the backend override:
+#: a byte budget or ``None`` for unbudgeted joins.  Set per process with
+#: ``REPRO_MAX_BYTES``, or scoped with :func:`use_max_bytes` (what the
+#: CLI ``--max-bytes`` flag does).
+_ACTIVE_MAX_BYTES: int | None = None
+
+
+def current_max_bytes() -> int | None:
+    """The ambient memory budget, if any."""
+    if _ACTIVE_MAX_BYTES is not None:
+        return _ACTIVE_MAX_BYTES
+    return _env_int("REPRO_MAX_BYTES", minimum=1)
+
+
+@contextlib.contextmanager
+def use_max_bytes(max_bytes: int | None):
+    """Scope an ambient byte budget for every :func:`run_algorithm` call.
+
+    Joins whose priced footprint exceeds the budget run through the
+    spilling :class:`~repro.memory.budgeted.BudgetedSpatialJoin` (or get
+    per-worker budget shares under the multiprocess engine).  ``None``
+    clears the override; explicit ``options=RunOptions(max_bytes=...)``
+    still wins.
+    """
+    global _ACTIVE_MAX_BYTES
+    previous = _ACTIVE_MAX_BYTES
+    _ACTIVE_MAX_BYTES = max_bytes
+    try:
+        yield
+    finally:
+        _ACTIVE_MAX_BYTES = previous
+
+
 def current_options() -> RunOptions:
     """The ambient execution options: scoped overrides first, then env.
 
@@ -128,8 +163,9 @@ def current_options() -> RunOptions:
     parallel = current_parallel()
     backend = current_backend()
     handoff = _env_choice("REPRO_HANDOFF", ("auto", "shm", "pickle"))
+    max_bytes = current_max_bytes()
     if parallel is None:
-        return RunOptions(backend=backend, handoff=handoff)
+        return RunOptions(backend=backend, handoff=handoff, max_bytes=max_bytes)
     workers, decompose, dedup = parallel
     return RunOptions(
         workers=workers,
@@ -137,6 +173,7 @@ def current_options() -> RunOptions:
         dedup=dedup,
         backend=backend,
         handoff=handoff,
+        max_bytes=max_bytes,
     )
 
 
@@ -336,6 +373,7 @@ def run_algorithm(
             list(dataset_b),
             epsilon,
             algorithm=algorithm_name,
+            max_bytes=resolved.max_bytes,
             **algorithm_overrides,
         )
         dataset_name = (
@@ -361,6 +399,17 @@ def run_algorithm(
             kind=resolved.decompose or "slabs",
             dedup=resolved.dedup or "reference",
             handoff=resolved.handoff or "auto",
+            max_bytes=resolved.max_bytes,
+        )
+    elif resolved.max_bytes is not None:
+        # Imported lazily, like the engines: the memory governor pulls in
+        # the decomposition machinery sequential runs never need.
+        from repro.memory import BudgetedSpatialJoin
+
+        algorithm = BudgetedSpatialJoin(
+            AlgorithmSpec.create(algorithm_name, **algorithm_overrides),
+            max_bytes=resolved.max_bytes,
+            kind=resolved.decompose or "tiles",
         )
     else:
         algorithm = make_algorithm(algorithm_name, **algorithm_overrides)

@@ -131,6 +131,24 @@ class TouchJoin(SpatialJoinAlgorithm):
             "backend": self.backend,
         }
 
+    def estimate_bytes(self, n_a: int, n_b: int, dim: int) -> int:
+        # Both tables plus the STR tree over A: L leaf buckets and the
+        # ~L * f/(f-1) internal nodes of an f-ary hierarchy above them,
+        # plus one stored reference per indexed object.
+        from repro.stats import memory as memmodel
+
+        base = super().estimate_bytes(n_a, n_b, dim)
+        if n_a == 0:
+            return base
+        fanout = max(2, self.fanout)
+        leaves = max(1, min(n_a, self.num_partitions or n_a))
+        nodes = leaves * fanout // (fanout - 1) + 1
+        return (
+            base
+            + nodes * memmodel.node_bytes(dim, fanout)
+            + memmodel.reference_list_bytes(n_a)
+        )
+
     def _execute(
         self,
         objects_a: list[SpatialObject],

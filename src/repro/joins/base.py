@@ -286,6 +286,25 @@ class SpatialJoinAlgorithm(abc.ABC):
         """
         raise NotImplementedError  # pragma: no cover - guarded by probe()
 
+    def estimate_bytes(self, n_a: int, n_b: int, dim: int) -> int:
+        """Predicted resident footprint of joining ``n_a`` × ``n_b`` boxes.
+
+        Priced with the analytic model of :mod:`repro.stats.memory` plus
+        the real columnar-table payload, *before* any data structure is
+        built — this is what the memory governor (:mod:`repro.memory`)
+        consults to decide whether a partition fits the budget or must
+        spill.  The default covers the structure every algorithm holds:
+        both coordinate tables plus one object record per box.  Index
+        algorithms override this to add their tree / grid cost.
+        """
+        from repro.stats.memory import columnar_table_bytes, object_record_bytes
+
+        return (
+            columnar_table_bytes(n_a, dim)
+            + columnar_table_bytes(n_b, dim)
+            + (n_a + n_b) * object_record_bytes(dim)
+        )
+
     def describe(self) -> dict:
         """Algorithm parameters, for reports.  Subclasses extend this."""
         return {}

@@ -115,6 +115,15 @@ class PBSMJoin(SpatialJoinAlgorithm):
             "backend": self.backend,
         }
 
+    def estimate_bytes(self, n_a: int, n_b: int, dim: int) -> int:
+        # Both tables plus two per-dataset grids; replication is only
+        # known after hashing (PBSM-500 reaches ~80x on paper workloads),
+        # so price the assumed pre-build factor.
+        refs = memmodel.GRID_REPLICATION_ESTIMATE * (n_a + n_b)
+        return super().estimate_bytes(n_a, n_b, dim) + 2 * memmodel.grid_cells_bytes(
+            refs, refs
+        )
+
     def _execute(
         self,
         objects_a: list[SpatialObject],

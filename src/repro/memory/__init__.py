@@ -1,0 +1,42 @@
+"""Memory governor: byte budgets, partition spilling, budgeted joins.
+
+The public surface of the budget subsystem:
+
+- :class:`~repro.memory.budget.MemoryBudget` — freeMem-style ledger
+  pricing partitions with the analytic model plus real table bytes;
+- :class:`~repro.memory.spill.SpillStore` /
+  :class:`~repro.memory.spill.SpillError` — read-once ``.npy`` spill
+  files in a self-cleaning temp directory;
+- :class:`~repro.memory.budgeted.BudgetedSpatialJoin` — any registered
+  join under a byte budget (resident-first, unspill-on-close,
+  recursive repartitioning for skew);
+- :class:`~repro.memory.budget.SpillMetrics` /
+  :func:`~repro.memory.budget.estimate_built_bytes` — the counters and
+  index pricing the service layer builds on.
+
+Entry points: ``RunOptions(max_bytes=...)`` / ``REPRO_MAX_BYTES`` for
+the benchmark runner, ``SpatialQueryService(max_bytes=...)`` for the
+serving tier, ``--max-bytes`` on the CLI.  See docs/service.md.
+"""
+
+from repro.memory.budget import (
+    SPILL_COUNTER_KEYS,
+    MemoryBudget,
+    SpillMetrics,
+    estimate_built_bytes,
+    validate_max_bytes,
+)
+from repro.memory.budgeted import BudgetedSpatialJoin
+from repro.memory.spill import SpillError, SpilledPartition, SpillStore
+
+__all__ = [
+    "MemoryBudget",
+    "SpillMetrics",
+    "SpillError",
+    "SpilledPartition",
+    "SpillStore",
+    "BudgetedSpatialJoin",
+    "estimate_built_bytes",
+    "validate_max_bytes",
+    "SPILL_COUNTER_KEYS",
+]

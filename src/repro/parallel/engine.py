@@ -304,6 +304,25 @@ def _unpack_chunk(payload):
     return [SpatialObject(oid, MBR(lo, hi)) for oid, lo, hi in rows], classes
 
 
+#: Per-worker spill counters surfaced in the parent's ``stats.extra``
+#: when the engine runs under a byte budget (``stats.merge`` sums the
+#: numeric counters but leaves ``extra`` alone, so these fold by hand).
+_WORKER_SPILL_KEYS = (
+    "spilled_partitions",
+    "spill_bytes_written",
+    "spill_bytes_read",
+    "unspills",
+)
+
+
+def _fold_spill_counters(stats: JoinStatistics, chunk_stats: JoinStatistics) -> None:
+    """Sum a chunk's budgeted-join counters into aggregated stats."""
+    for key in _WORKER_SPILL_KEYS:
+        value = chunk_stats.extra.get(key)
+        if value:
+            stats.extra[key] = stats.extra.get(key, 0) + int(value)
+
+
 def _run_chunk(task):
     """Worker entry point: join one region, free of cross-region dupes.
 
@@ -315,10 +334,19 @@ def _run_chunk(task):
     by construction, no per-pair test.  Must stay a module-level
     function so it pickles under every start method.
     """
-    spec, decomposition, region_index, chunk_a, chunk_b, dedup = task
+    spec, decomposition, region_index, chunk_a, chunk_b, dedup, max_bytes = task
     start = time.perf_counter()
     objects_a, classes_a = _unpack_chunk(chunk_a)
     objects_b, classes_b = _unpack_chunk(chunk_b)
+
+    def fresh() -> SpatialJoinAlgorithm:
+        # Per-worker budget: each region join runs under its share of
+        # the byte budget, spilling over-budget sub-partitions locally.
+        if max_bytes is None:
+            return spec.make()
+        from repro.memory import BudgetedSpatialJoin
+
+        return BudgetedSpatialJoin(spec.make, max_bytes)
 
     if dedup == "partition":
         from repro.partition.classes import group_by_mask, mini_join_masks
@@ -332,12 +360,13 @@ def _run_chunk(task):
             mini_b = groups_b.get(mask_b)
             if not mini_a or not mini_b:
                 continue
-            result = spec.make().join(mini_a, mini_b)
+            result = fresh().join(mini_a, mini_b)
             stats.merge(result.stats)
+            _fold_spill_counters(stats, result.stats)
             pairs.extend(result.pairs)
         return region_index, pairs, 0, stats, time.perf_counter() - start
 
-    result = spec.make().join(objects_a, objects_b)
+    result = fresh().join(objects_a, objects_b)
     region = decomposition.regions[region_index]
     mbr_a = {o.oid: o.mbr for o in objects_a}
     mbr_b = {o.oid: o.mbr for o in objects_b}
@@ -391,6 +420,14 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         else the pickle path.  ``"shm"`` forces shared memory (raises
         when unavailable); ``"pickle"`` forces the per-region pickled
         buffers.  Pair sets and counters are identical either way.
+    max_bytes:
+        Optional total byte budget; each worker joins its regions under
+        an equal share (``max_bytes // workers``, at least 1) through
+        the spilling :class:`~repro.memory.budgeted.BudgetedSpatialJoin`,
+        and the per-worker spill counters are folded into
+        ``stats.extra``.  Pair parity with the unbudgeted engine is
+        exact (the budgeted join is complete and duplicate-free for its
+        inputs).
     """
 
     name = "Parallel"
@@ -409,10 +446,20 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         dedup: str = "reference",
         start_method: str | None = None,
         handoff: str = "auto",
+        max_bytes: int | None = None,
         **overrides,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_bytes is not None and (
+            isinstance(max_bytes, bool)
+            or not isinstance(max_bytes, int)
+            or max_bytes <= 0
+        ):
+            raise ValueError(
+                f"max_bytes must be a positive integer byte count, "
+                f"got {max_bytes!r}"
+            )
         if dedup not in self.DEDUP_MODES:
             raise ValueError(
                 f"unknown dedup mode {dedup!r}; expected one of "
@@ -455,6 +502,7 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         self.axis = axis
         self.dedup = dedup
         self.handoff = handoff
+        self.max_bytes = max_bytes
         self.start_method = start_method or _default_start_method()
         chunk_label = "auto" if n_chunks is None else str(n_chunks)
         suffix = "" if kind == "slabs" else f":{kind}"
@@ -470,6 +518,7 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
             "axis": self.axis,
             "dedup": self.dedup,
             "handoff": self.handoff,
+            "max_bytes": self.max_bytes,
             "start_method": self.start_method,
         }
 
@@ -488,6 +537,11 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         stats.extra["decompose"] = self.kind
         stats.extra["dedup"] = self.dedup
         stats.extra["handoff"] = handoff
+        worker_max_bytes = (
+            None if self.max_bytes is None else max(1, self.max_bytes // self.workers)
+        )
+        if worker_max_bytes is not None:
+            stats.extra["worker_max_bytes"] = worker_max_bytes
         stats.extra["pickled_coord_bytes"] = 0
         stats.extra["decompose_seconds"] = 0.0
         stats.extra["worker_join_seconds"] = 0.0
@@ -524,7 +578,15 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
                     if chunk[0] == "table":
                         pickled_coord_bytes += chunk[1].nbytes + chunk[2].nbytes
                 tasks.append(
-                    (spec, decomposition, region.index, chunk_a, chunk_b, self.dedup)
+                    (
+                        spec,
+                        decomposition,
+                        region.index,
+                        chunk_a,
+                        chunk_b,
+                        self.dedup,
+                        worker_max_bytes,
+                    )
                 )
             # Instrumented so tests can assert the shm hot path never
             # pickles a coordinate buffer (indices and ids of the pickle
@@ -572,6 +634,7 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
             pairs.extend(owned)
             duplicates += chunk_duplicates
             stats.merge(chunk_stats)
+            _fold_spill_counters(stats, chunk_stats)
             per_chunk.append(seconds)
         stats.duplicates_suppressed += duplicates
         stats.result_pairs = len(pairs)

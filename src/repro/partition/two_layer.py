@@ -135,6 +135,15 @@ class TwoLayerJoin(SpatialJoinAlgorithm):
             "backend": self.backend,
         }
 
+    def estimate_bytes(self, n_a: int, n_b: int, dim: int) -> int:
+        # Both tables plus the uniform grid: real replication is only
+        # known after hashing, so price the assumed pre-build factor
+        # (relative footprints are what the governor compares).
+        refs = memmodel.GRID_REPLICATION_ESTIMATE * (n_a + n_b)
+        return super().estimate_bytes(n_a, n_b, dim) + memmodel.grid_cells_bytes(
+            refs, refs
+        )
+
     def _execute(
         self,
         objects_a: list[SpatialObject],

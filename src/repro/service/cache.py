@@ -6,16 +6,25 @@ algorithm prepared for that exact combination.  Concurrent consumers are
 safe: lookups and insertions hold one lock, and a per-key build lock
 makes racing cold queries for the same key build the index exactly once
 while builds for *different* keys proceed in parallel.
+
+Capacity is two-dimensional: ``capacity`` bounds the index *count* and
+an optional ``max_bytes`` bounds the *priced footprint* (each inserted
+index is priced with
+:func:`~repro.memory.budget.estimate_built_bytes`); either bound
+evicts from the LRU tail, so a few large indexes and many small ones
+are governed by the same budget the join engines spill against.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.joins.base import BuiltIndex
+from repro.memory.budget import estimate_built_bytes, validate_max_bytes
 
 __all__ = ["IndexKey", "IndexCache"]
 
@@ -46,13 +55,22 @@ class IndexKey:
         backend: str | None,
         epsilon: float,
     ) -> "IndexKey":
+        epsilon = float(epsilon)
+        if not math.isfinite(epsilon) or epsilon < 0:
+            # NaN is the insidious case: a frozen dataclass holding NaN
+            # never equals itself, so the key could never be looked up
+            # again — every probe would be a cold build and the cache
+            # would fill with unreachable entries.
+            raise ValueError(
+                f"epsilon must be finite and non-negative, got {epsilon!r}"
+            )
         config = {k: v for k, v in config.items() if k != "backend"}
         return cls(
             fingerprint=fingerprint,
             algorithm=algorithm,
             config=tuple(sorted(config.items())),
             backend=backend or "default",
-            epsilon=float(epsilon),
+            epsilon=epsilon,
         )
 
 
@@ -61,18 +79,28 @@ class IndexCache:
 
     ``capacity`` bounds the number of resident indexes (least recently
     *used* evicted first; both hits and insertions refresh recency).
+    ``max_bytes``, when set, additionally bounds the summed priced
+    footprint of the resident indexes — eviction is then by bytes, not
+    just count, though the most recently inserted index always stays
+    (an index larger than the whole budget must not thrash the cache
+    empty).
     """
 
-    def __init__(self, capacity: int = 8) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+    def __init__(self, capacity: int = 8, max_bytes: int | None = None) -> None:
+        if isinstance(capacity, bool) or not isinstance(capacity, int) or capacity < 1:
+            raise ValueError(f"capacity must be an integer >= 1, got {capacity!r}")
+        if max_bytes is not None:
+            validate_max_bytes(max_bytes)
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self._entries: "OrderedDict[IndexKey, BuiltIndex]" = OrderedDict()
+        self._sizes: dict[IndexKey, int] = {}
         self._lock = threading.Lock()
         self._building: dict[IndexKey, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.resident_bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -125,35 +153,56 @@ class IndexCache:
                 self.misses += 1
             try:
                 built = builder()
-            finally:
-                # Always drop the per-key lock entry — a failing build
-                # must not leave it behind, or retries of distinct
-                # failing keys would grow the dict without bound.
+            except BaseException:
+                # Drop the per-key lock entry on failure — leaving it
+                # behind would grow the dict without bound as distinct
+                # failing keys retry.
                 with self._lock:
                     self._building.pop(key, None)
+                raise
+            # Insert and release the build-lock entry under ONE lock
+            # acquisition.  Popping before the insert (as this used to)
+            # opened a window where a third thread missed the cache,
+            # found no per-key lock, and re-ran builder() for a key the
+            # first thread had already built.
             with self._lock:
                 self._insert_locked(key, built)
+                self._building.pop(key, None)
             return built, False
 
     def clear(self) -> None:
         """Drop every resident index (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._sizes.clear()
+            self.resident_bytes = 0
 
     def stats(self) -> dict:
         """Snapshot of the counters and occupancy."""
         with self._lock:
             return {
                 "capacity": self.capacity,
+                "max_bytes": self.max_bytes,
                 "size": len(self._entries),
+                "resident_bytes": self.resident_bytes,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
             }
 
     def _insert_locked(self, key: IndexKey, built: BuiltIndex) -> None:
+        if key in self._sizes:
+            self.resident_bytes -= self._sizes[key]
+        size = estimate_built_bytes(built)
         self._entries[key] = built
+        self._sizes[key] = size
+        self.resident_bytes += size
         self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        while len(self._entries) > self.capacity or (
+            self.max_bytes is not None
+            and self.resident_bytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.resident_bytes -= self._sizes.pop(evicted_key, 0)
             self.evictions += 1

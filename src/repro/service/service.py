@@ -18,6 +18,7 @@ each index exactly once.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import Iterable, Sequence
@@ -26,8 +27,9 @@ from repro.datasets.base import Dataset
 from repro.geometry.columnar import HAVE_NUMPY, CoordinateTable
 from repro.geometry.mbr import MBR
 from repro.geometry.objects import SpatialObject
-from repro.joins.base import BuiltIndex, JoinResult
+from repro.joins.base import BuiltIndex, JoinResult, dimensionality
 from repro.joins.registry import make_algorithm
+from repro.memory.budget import SpillMetrics, validate_max_bytes
 from repro.service.cache import IndexCache, IndexKey
 from repro.service.fingerprint import dataset_fingerprint
 
@@ -45,11 +47,27 @@ class SpatialQueryService:
         Default geometry backend forwarded to backend-aware algorithms
         (per-query ``backend=`` overrides win; ``None`` leaves each
         algorithm's own default).
+    max_bytes:
+        Optional byte budget.  Bounds the cache's resident index
+        footprint *and* routes any probe whose priced footprint exceeds
+        the budget through a
+        :class:`~repro.memory.budgeted.BudgetedSpatialJoin`, which
+        spills partitions to disk instead of holding everything
+        resident.  Per-probe ``max_bytes=`` overrides win.
     """
 
-    def __init__(self, capacity: int = 8, backend: str | None = None) -> None:
-        self.cache = IndexCache(capacity=capacity)
+    def __init__(
+        self,
+        capacity: int = 8,
+        backend: str | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_bytes is not None:
+            validate_max_bytes(max_bytes)
+        self.cache = IndexCache(capacity=capacity, max_bytes=max_bytes)
         self.default_backend = backend
+        self.max_bytes = max_bytes
+        self._spill = SpillMetrics()
         self._datasets: dict[str, tuple[list[SpatialObject], str]] = {}
         self._lock = threading.Lock()
         self._queries = 0
@@ -96,6 +114,7 @@ class SpatialQueryService:
         probe: "MBR | Iterable[MBR] | Sequence[SpatialObject] | CoordinateTable",
         epsilon: float,
         algorithm: str = "TOUCH",
+        max_bytes: int | None = None,
         **config,
     ) -> JoinResult:
         """Distance-join ``probe`` against a (cached) index over ``dataset``.
@@ -119,9 +138,14 @@ class SpatialQueryService:
         index.  ``config`` is forwarded to the registry factory
         (``backend=...``, ``fanout=...``, ...).
 
+        ``max_bytes`` (per-probe override of the service default) is
+        the byte budget: an object probe whose priced footprint exceeds
+        it skips the index cache and runs a spilling
+        :class:`~repro.memory.budgeted.BudgetedSpatialJoin` instead.
+
         The returned :class:`~repro.joins.base.JoinResult` carries
-        ``parameters["cache"]`` (``"warm"`` | ``"cold"``) and
-        ``parameters["build_seconds"]`` of the underlying index.
+        ``parameters["cache"]`` (``"warm"`` | ``"cold"`` | ``"spilled"``)
+        and ``parameters["build_seconds"]`` of the underlying index.
         """
         if isinstance(probe, MBR):
             probe = self._mbr_batch([probe])
@@ -131,8 +155,14 @@ class SpatialQueryService:
                 probe = self._mbr_batch(items)
             else:
                 probe = items
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        epsilon = float(epsilon)
+        if not math.isfinite(epsilon) or epsilon < 0:
+            raise ValueError(
+                f"epsilon must be finite and non-negative, got {epsilon!r}"
+            )
+        if max_bytes is not None:
+            validate_max_bytes(max_bytes)
+        budget = max_bytes if max_bytes is not None else self.max_bytes
         objects, fingerprint = self._resolve(dataset)
         if "backend" not in config and self.default_backend is not None:
             config = {**config, "backend": self.default_backend}
@@ -144,6 +174,19 @@ class SpatialQueryService:
             epsilon,
         )
         algo = make_algorithm(algorithm, **config)
+
+        if budget is not None and not isinstance(probe, CoordinateTable):
+            probe_objects = list(probe) if isinstance(probe, Dataset) else probe
+            if objects and probe_objects:
+                dim = dimensionality(objects, probe_objects)
+                estimated = algo.estimate_bytes(
+                    len(objects), len(probe_objects), dim
+                )
+                if estimated > budget:
+                    return self._budgeted_probe(
+                        objects, probe_objects, epsilon, algorithm, budget, config
+                    )
+            probe = probe_objects
 
         def builder() -> BuiltIndex:
             build_side = [obj.inflated(epsilon) for obj in objects]
@@ -168,6 +211,45 @@ class SpatialQueryService:
         }
         return result
 
+    def _budgeted_probe(
+        self,
+        objects: "list[SpatialObject]",
+        probe_objects: "list[SpatialObject]",
+        epsilon: float,
+        algorithm: str,
+        budget: int,
+        config: dict,
+    ) -> JoinResult:
+        """One-shot spilling join for a probe that exceeds the budget.
+
+        Caching the built index would defeat the budget (the index alone
+        is over it), so the query runs the full ε-reduced join under the
+        memory governor instead: partitions spill to disk, counters feed
+        the service-wide :class:`~repro.memory.budget.SpillMetrics`.
+        """
+        from repro.memory.budgeted import BudgetedSpatialJoin
+
+        joiner = BudgetedSpatialJoin(
+            lambda: make_algorithm(algorithm, **config),
+            max_bytes=budget,
+            metrics=self._spill,
+        )
+        build_side = [obj.inflated(epsilon) for obj in objects]
+        start = time.perf_counter()
+        result = joiner.join(build_side, probe_objects)
+        probe_seconds = time.perf_counter() - start
+        with self._lock:
+            self._queries += 1
+            self._probe_seconds += probe_seconds
+        result.parameters = {
+            **result.parameters,
+            "cache": "spilled",
+            "epsilon": epsilon,
+            "max_bytes": budget,
+            "spill_dir": joiner.last_spill_dir,
+        }
+        return result
+
     @staticmethod
     def _mbr_batch(boxes: "list[MBR]") -> "CoordinateTable | list[SpatialObject]":
         """One probe batch from raw MBRs (columnar when numpy is around)."""
@@ -182,10 +264,13 @@ class SpatialQueryService:
         probe: "Sequence[SpatialObject] | CoordinateTable",
         epsilon: float,
         algorithm: str = "TOUCH",
+        max_bytes: int | None = None,
         **config,
     ) -> JoinResult:
         """Alias for :meth:`probe` with a probe dataset (historical name)."""
-        return self.probe(dataset, probe, epsilon, algorithm=algorithm, **config)
+        return self.probe(
+            dataset, probe, epsilon, algorithm=algorithm, max_bytes=max_bytes, **config
+        )
 
     def probe_mbrs(
         self,
@@ -203,8 +288,9 @@ class SpatialQueryService:
 
     # -- introspection -------------------------------------------------
     def stats(self) -> dict:
-        """Warm/cold counters, cache occupancy and cumulative timings."""
+        """Warm/cold counters, cache occupancy, spill activity, timings."""
         cache = self.cache.stats()
+        spill = self._spill.snapshot()
         with self._lock:
             return {
                 "queries": self._queries,
@@ -213,9 +299,12 @@ class SpatialQueryService:
                 "evictions": cache["evictions"],
                 "cached_indexes": cache["size"],
                 "capacity": cache["capacity"],
+                "max_bytes": self.max_bytes,
+                "resident_bytes": cache["resident_bytes"],
                 "registered_datasets": len(self._datasets),
                 "build_seconds": self._build_seconds,
                 "probe_seconds": self._probe_seconds,
+                **spill,
             }
 
 

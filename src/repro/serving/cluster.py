@@ -39,6 +39,10 @@ class ServingCluster:
         Default geometry backend of every worker's local service.
     capacity:
         Per-worker index-cache capacity (LRU beyond it).
+    max_bytes:
+        Optional per-worker byte budget, forwarded to each worker's
+        local :class:`~repro.service.SpatialQueryService` (bounds the
+        index cache's resident footprint and spills oversized joins).
     start_method:
         ``multiprocessing`` start method; default prefers ``fork``.
     host:
@@ -50,6 +54,7 @@ class ServingCluster:
         shards: int,
         backend: str | None = None,
         capacity: int = 8,
+        max_bytes: int | None = None,
         start_method: str | None = None,
         host: str = "127.0.0.1",
     ) -> None:
@@ -58,6 +63,7 @@ class ServingCluster:
         self.shards = shards
         self.backend = backend
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self.start_method = start_method or _default_start_method()
         self.host = host
         self.processes: list[multiprocessing.Process] = []
@@ -88,6 +94,7 @@ class ServingCluster:
                         self.host,
                         self.backend,
                         self.capacity,
+                        self.max_bytes,
                     ),
                     name=f"repro-shard-{index}",
                     daemon=True,

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import math
 import threading
 from typing import Iterable, Sequence
 
@@ -237,8 +238,11 @@ class ShardRouter:
         if dataset not in self._datasets:
             known = ", ".join(sorted(self._datasets)) or "(none)"
             raise KeyError(f"unknown dataset {dataset!r}; registered: {known}")
-        if epsilon < 0:
-            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        epsilon = float(epsilon)
+        if not math.isfinite(epsilon) or epsilon < 0:
+            raise ValueError(
+                f"epsilon must be finite and non-negative, got {epsilon!r}"
+            )
         ids, boxes = self._normalize(probe)
         per_shard_counts = self._datasets[dataset]["per_shard"]
         scatter: dict[int, dict] = {}
@@ -304,6 +308,19 @@ class ShardRouter:
             )
         )
         per_shard = [response["stats"] for response in responses]
+        # .get(): a router may front workers from an older build whose
+        # stats frames predate the byte-accounting counters.
+        aggregated = {
+            key: sum(s.get(key, 0) for s in per_shard)
+            for key in (
+                "resident_bytes",
+                "spilled_joins",
+                "spilled_partitions",
+                "spill_bytes_written",
+                "spill_bytes_read",
+                "unspills",
+            )
+        }
         return {
             "shards": len(self.endpoints),
             "probes": self._probes,
@@ -313,6 +330,7 @@ class ShardRouter:
             "warm_hits": sum(s["warm_hits"] for s in per_shard),
             "cold_builds": sum(s["cold_builds"] for s in per_shard),
             "registered_datasets": len(self._datasets),
+            **aggregated,
             "per_shard": per_shard,
         }
 
@@ -346,12 +364,14 @@ class ShardedQueryService:
         kind: str = "slabs",
         backend: str | None = None,
         capacity: int = 8,
+        max_bytes: int | None = None,
         start_method: str | None = None,
     ) -> None:
         self.cluster = ServingCluster(
             shards,
             backend=backend,
             capacity=capacity,
+            max_bytes=max_bytes,
             start_method=start_method,
         )
         self.kind = kind

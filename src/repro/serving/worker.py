@@ -53,9 +53,12 @@ class ShardWorker:
         shard_index: int,
         backend: str | None = None,
         capacity: int = 8,
+        max_bytes: int | None = None,
     ) -> None:
         self.shard_index = shard_index
-        self.service = SpatialQueryService(capacity=capacity, backend=backend)
+        self.service = SpatialQueryService(
+            capacity=capacity, backend=backend, max_bytes=max_bytes
+        )
         #: Per dataset: build oid -> two-layer class mask of its replica.
         self.masks: dict[str, dict[int, int]] = {}
         self.stop_event = asyncio.Event()
@@ -176,8 +179,11 @@ async def _serve_shard(
     host: str,
     backend: str | None,
     capacity: int,
+    max_bytes: int | None,
 ) -> None:
-    worker = ShardWorker(shard_index, backend=backend, capacity=capacity)
+    worker = ShardWorker(
+        shard_index, backend=backend, capacity=capacity, max_bytes=max_bytes
+    )
     # The default asyncio stream limit (64 KiB) is far below a real
     # register/probe frame; raise it to the protocol's own backstop.
     server = await asyncio.start_server(
@@ -196,11 +202,14 @@ def run_shard_worker(
     host: str = "127.0.0.1",
     backend: str | None = None,
     capacity: int = 8,
+    max_bytes: int | None = None,
 ) -> None:
     """Process entry point: serve one shard until a ``shutdown`` op."""
     try:
         asyncio.run(
-            _serve_shard(shard_index, ready_conn, host, backend, capacity)
+            _serve_shard(
+                shard_index, ready_conn, host, backend, capacity, max_bytes
+            )
         )
     except Exception as exc:  # pragma: no cover - handshake failure path
         with contextlib.suppress(Exception):

@@ -29,11 +29,13 @@ __all__ = [
     "NODE_OVERHEAD_BYTES",
     "CELL_OVERHEAD_BYTES",
     "OBJECT_RECORD_BYTES",
+    "GRID_REPLICATION_ESTIMATE",
     "mbr_bytes",
     "object_record_bytes",
     "node_bytes",
     "grid_cells_bytes",
     "reference_list_bytes",
+    "columnar_table_bytes",
 ]
 
 POINTER_BYTES = 8
@@ -41,6 +43,10 @@ COORD_BYTES = 8
 NODE_OVERHEAD_BYTES = 16  # level tag, entity-list header, parent pointer
 CELL_OVERHEAD_BYTES = 24  # hash bucket + list header
 OBJECT_RECORD_BYTES = 8  # id field of an object record (MBR priced separately)
+#: Assumed per-object cell replication when pricing a uniform grid
+#: *before* it is built (real replication is workload-dependent and only
+#: known after hashing); used by the grid algorithms' ``estimate_bytes``.
+GRID_REPLICATION_ESTIMATE = 4
 
 
 def mbr_bytes(dim: int) -> int:
@@ -67,3 +73,15 @@ def grid_cells_bytes(n_cells: int, n_references: int) -> int:
     """Size of a hash grid with ``n_cells`` non-empty cells holding
     ``n_references`` object references in total."""
     return n_cells * CELL_OVERHEAD_BYTES + n_references * POINTER_BYTES
+
+
+def columnar_table_bytes(rows: int, dim: int) -> int:
+    """Exact payload bytes of a columnar coordinate table with ``rows`` boxes.
+
+    Unlike the analytic constants above this is not a model: a
+    :class:`~repro.geometry.columnar.CoordinateTable` stores ``2 * dim``
+    float64 coordinates plus one int64 id per row, so the figure matches
+    the table's real ``nbytes``.  The memory governor prices partition
+    row-slices with it (see :mod:`repro.memory`).
+    """
+    return rows * (2 * dim * COORD_BYTES + 8)

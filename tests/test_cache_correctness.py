@@ -1,0 +1,221 @@
+"""Index-cache correctness: the build race, validation, byte eviction.
+
+The race this suite pins down: ``get_or_build`` used to pop its per-key
+build lock *before* inserting the built index, so a third thread could
+miss the cache, find no build lock, and rebuild an index that was
+already built.  The white-box invariant test asserts the fixed ordering
+directly (the entry must be resident at the instant the build lock is
+popped); the barrier test hammers the path with real threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.joins.base import BuiltIndex
+from repro.memory.budget import estimate_built_bytes
+from repro.service.cache import IndexCache, IndexKey
+
+
+def make_key(tag: str, epsilon: float = 0.5) -> IndexKey:
+    return IndexKey.create(f"fp-{tag}", "TOUCH", {}, None, epsilon)
+
+
+class _Payload:
+    """Anything with ``nbytes`` prices into the cache deterministically."""
+
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = nbytes
+
+
+def make_built(nbytes: int) -> BuiltIndex:
+    return BuiltIndex(
+        algorithm="TOUCH",
+        parameters={},
+        payload={"table": _Payload(nbytes)},
+        n_build=0,
+        reusable=True,
+        build_seconds=0.0,
+        build_stats=None,
+    )
+
+
+class _PopRecorder(dict):
+    """Instrumented ``_building`` dict: records cache residency at pop.
+
+    Under the fixed locking, the built entry is inserted *before* the
+    per-key build lock is popped (same lock acquisition), so every
+    successful-build pop must observe the key already resident.  The
+    pre-fix ordering popped first and inserted later — residency False —
+    which is exactly the window the duplicate-build race lived in.
+    """
+
+    def __init__(self, cache: IndexCache) -> None:
+        super().__init__()
+        self.cache = cache
+        self.resident_at_pop: list[bool] = []
+
+    def pop(self, key, *default):
+        self.resident_at_pop.append(key in self.cache._entries)
+        return super().pop(key, *default)
+
+
+class TestBuildRace:
+    def test_entry_resident_when_build_lock_released(self):
+        cache = IndexCache(capacity=4)
+        recorder = _PopRecorder(cache)
+        cache._building = recorder
+        key = make_key("a")
+        cache.get_or_build(key, lambda: make_built(64))
+        assert recorder.resident_at_pop == [True]
+
+    def test_failed_build_pops_without_inserting(self):
+        cache = IndexCache(capacity=4)
+        recorder = _PopRecorder(cache)
+        cache._building = recorder
+        key = make_key("boom")
+        with pytest.raises(RuntimeError, match="builder failed"):
+            cache.get_or_build(
+                key, lambda: (_ for _ in ()).throw(RuntimeError("builder failed"))
+            )
+        assert recorder.resident_at_pop == [False]
+        assert len(cache._building) == 0
+
+    @pytest.mark.parametrize("threads", [4, 8])
+    def test_barrier_hammer_builds_exactly_once(self, threads):
+        cache = IndexCache(capacity=4)
+        key = make_key("hot")
+        barrier = threading.Barrier(threads)
+        builds = []
+        build_lock = threading.Lock()
+
+        def builder() -> BuiltIndex:
+            with build_lock:
+                builds.append(threading.get_ident())
+            time.sleep(0.02)  # hold the build open so laggards pile up
+            return make_built(128)
+
+        results = []
+
+        def worker():
+            barrier.wait()
+            built, warm = cache.get_or_build(key, builder)
+            results.append((built, warm))
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert len(builds) == 1, f"index built {len(builds)} times"
+        assert len(results) == threads
+        assert len({id(built) for built, _ in results}) == 1
+        assert sum(1 for _, warm in results if not warm) == 1
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == threads - 1
+
+    def test_counters_consistent_after_builder_exception(self):
+        cache = IndexCache(capacity=4)
+        key = make_key("flaky")
+        with pytest.raises(ValueError, match="no data"):
+            cache.get_or_build(
+                key, lambda: (_ for _ in ()).throw(ValueError("no data"))
+            )
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["size"] == 0
+        assert stats["resident_bytes"] == 0
+        # A retry with a working builder proceeds normally.
+        built, warm = cache.get_or_build(key, lambda: make_built(32))
+        assert not warm
+        assert cache.stats()["size"] == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0, -0.001])
+    def test_index_key_rejects_bad_epsilon(self, bad):
+        with pytest.raises(ValueError, match="epsilon"):
+            make_key("x", epsilon=bad)
+
+    def test_nan_key_would_poison_the_cache(self):
+        """Why the NaN check exists: a NaN key never equals itself."""
+        with pytest.raises(ValueError):
+            IndexKey.create("fp", "TOUCH", {}, None, float("nan"))
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 1.5, "8"])
+    def test_cache_rejects_bad_capacity(self, bad):
+        with pytest.raises(ValueError, match="capacity"):
+            IndexCache(capacity=bad)
+
+    @pytest.mark.parametrize("bad", [0, -10, False, 3.5])
+    def test_cache_rejects_bad_max_bytes(self, bad):
+        with pytest.raises(ValueError, match="max_bytes"):
+            IndexCache(capacity=2, max_bytes=bad)
+
+    def test_service_probe_rejects_nonfinite_epsilon(self):
+        from repro.geometry.mbr import MBR
+        from repro.geometry.objects import SpatialObject
+        from repro.service import SpatialQueryService
+
+        service = SpatialQueryService()
+        objs = [SpatialObject(0, MBR((0.0, 0.0), (1.0, 1.0)))]
+        service.register("d", objs)
+        for bad in (float("nan"), float("inf"), -2.0):
+            with pytest.raises(ValueError, match="epsilon"):
+                service.probe("d", objs, bad)
+
+
+class TestByteEviction:
+    def test_eviction_by_bytes_drops_lru_first(self):
+        cache = IndexCache(capacity=10, max_bytes=1000)
+        keys = [make_key(str(i)) for i in range(3)]
+        for key in keys:
+            cache.put(key, make_built(400))
+        # 3 x 400 = 1200 > 1000: the oldest entry goes.
+        assert cache.keys() == keys[1:]
+        stats = cache.stats()
+        assert stats["resident_bytes"] == 800
+        assert stats["evictions"] == 1
+
+    def test_recency_refresh_protects_hot_entries(self):
+        cache = IndexCache(capacity=10, max_bytes=1000)
+        keys = [make_key(str(i)) for i in range(2)]
+        cache.put(keys[0], make_built(400))
+        cache.put(keys[1], make_built(400))
+        cache.get(keys[0])  # refresh: key 1 is now the LRU
+        cache.put(make_key("2"), make_built(400))
+        assert keys[0] in cache.keys()
+        assert keys[1] not in cache.keys()
+
+    def test_oversized_entry_keeps_newest(self):
+        """An index above the whole budget must not thrash the cache empty."""
+        cache = IndexCache(capacity=4, max_bytes=100)
+        big = make_key("big")
+        cache.put(big, make_built(5000))
+        assert cache.keys() == [big]
+        assert cache.stats()["resident_bytes"] == 5000
+
+    def test_replacing_a_key_reprices_it(self):
+        cache = IndexCache(capacity=4, max_bytes=10_000)
+        key = make_key("k")
+        cache.put(key, make_built(400))
+        cache.put(key, make_built(900))
+        assert cache.stats()["resident_bytes"] == 900
+
+    def test_clear_resets_byte_accounting(self):
+        cache = IndexCache(capacity=4, max_bytes=10_000)
+        cache.put(make_key("k"), make_built(123))
+        cache.clear()
+        stats = cache.stats()
+        assert stats["size"] == 0
+        assert stats["resident_bytes"] == 0
+
+    def test_estimate_built_bytes_prices_payload_and_records(self):
+        assert estimate_built_bytes(make_built(64)) == 64
+        built = make_built(64)
+        built.n_build = 10
+        assert estimate_built_bytes(built) > 64
