@@ -4,8 +4,10 @@ Runs the medium Figure-9 (uniform) and Figure-11 (clustered) workloads
 for the headline algorithms, the ``repeated_probe`` build-once/
 probe-many workload, the ``serve_load`` sharded scatter-gather
 workload (one row per shard count, qps + p50/p99 in the row extras),
-and the ``bench_spill`` memory-governor workload (budgeted joins at a
+the ``bench_spill`` memory-governor workload (budgeted joins at a
 quarter of the estimated footprint, spill counters in the row extras),
+and the ``filter_refine`` non-point workload (mbr vs exact TOUCH on
+the polygon/linestring datasets, refine counters in the row extras),
 and writes a flat ``BENCH_PR<N>.json`` artifact at the repo root — the
 committed point of this PR's performance trajectory.  Row schema
 (stable across PRs, so points are comparable)::
@@ -74,6 +76,10 @@ SERVE_LOAD_CONCURRENCY = 8
 
 #: Budget fractions of the estimated footprint tracked by the spill rows.
 SPILL_DIVISORS = (4,)
+
+#: Shape workloads tracked by the filter-refine rows (mbr = filter
+#: only, exact = filter + refinement; the counter identity is asserted).
+FILTER_REFINE_DISTRIBUTIONS = ("polygons", "lines")
 
 
 def run_figures(scale, backend: str | None) -> list[dict]:
@@ -308,6 +314,76 @@ def run_spill(scale, backend: str | None) -> list[dict]:
     return rows
 
 
+def run_filter_refine(scale, backend: str | None) -> list[dict]:
+    """Filter-refine rows: mbr vs exact TOUCH on the shape workloads.
+
+    The exact rows carry the refine counters; the counter identity
+    ``true_hits + exact_tests == candidate_pairs - false_hit_prunes``
+    is asserted (full oracle parity is pinned by the test suite and the
+    ``refine-parity`` CI job, which this script does not repeat at
+    trajectory scale).
+    """
+    from repro.bench.runner import use_geometry
+
+    rows = []
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    for distribution in FILTER_REFINE_DISTRIBUTIONS:
+        dataset_a, dataset_b = synthetic_pair(
+            distribution, scale.large_a, n_b, scale
+        )
+        for geometry in ("mbr", "exact"):
+            workload = (
+                f"filter_refine/{distribution}/a{scale.large_a}-b{n_b}"
+                f"/eps{scale.large_epsilon:g}/{geometry}"
+            )
+            overrides = {"backend": backend} if backend else {}
+            with use_geometry(geometry):
+                start = time.perf_counter()
+                record = run_algorithm(
+                    "TOUCH", dataset_a, dataset_b, scale.large_epsilon,
+                    **overrides,
+                )
+                wall = time.perf_counter() - start
+            row = {
+                "algorithm": record.algorithm,
+                "backend": record.extra.get("backend", backend or "auto"),
+                "workload": workload,
+                "seconds": wall,
+                "pairs": record.result_pairs,
+            }
+            if geometry == "exact":
+                extra = record.extra
+                if (
+                    extra["true_hits"] + extra["exact_tests"]
+                    != extra["candidate_pairs"] - extra["false_hit_prunes"]
+                ):
+                    raise AssertionError(
+                        f"refine counter identity broken on {workload}: "
+                        f"{extra['true_hits']} + {extra['exact_tests']} != "
+                        f"{extra['candidate_pairs']} - "
+                        f"{extra['false_hit_prunes']}"
+                    )
+                row.update(
+                    candidate_pairs=extra["candidate_pairs"],
+                    false_hit_prunes=extra["false_hit_prunes"],
+                    true_hits=extra["true_hits"],
+                    exact_tests=extra["exact_tests"],
+                    refine_seconds=extra["refine_seconds"],
+                )
+            rows.append(row)
+            print(
+                f"  {record.algorithm:14s} {workload:42s} "
+                f"{wall:8.3f}s  pairs={record.result_pairs}"
+                + (
+                    f" cands={row['candidate_pairs']} "
+                    f"true_hits={row['true_hits']} (identity asserted)"
+                    if geometry == "exact"
+                    else ""
+                )
+            )
+    return rows
+
+
 def previous_point(
     root: Path, out: Path, current_pr: int | None
 ) -> "tuple[str, dict] | None":
@@ -394,7 +470,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
     parser.add_argument("--backend", default=None, help="geometry backend override")
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_PR8.json"), help="trajectory point to write"
+        "--out", type=Path, default=Path("BENCH_PR9.json"), help="trajectory point to write"
     )
     parser.add_argument(
         "--compare-root",
@@ -438,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
         warnings.extend(probe_warnings)
         rows.extend(run_serve_load(scale, args.backend))
         rows.extend(run_spill(scale, args.backend))
+        rows.extend(run_filter_refine(scale, args.backend))
 
     point = {
         "schema": "bench-trajectory/v1",

@@ -16,7 +16,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.bench.config import DEFAULT_SCALE, SCALES
+from repro.bench.config import DEFAULT_SCALE, GEOMETRY_MODES, SCALES
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import print_experiment, save_json
 from repro.geometry.columnar import BACKENDS
@@ -74,6 +74,15 @@ def build_parser() -> argparse.ArgumentParser:
         "disk and join them in passes; pair sets are identical to the "
         "unbudgeted run",
     )
+    geometry_kwargs = dict(
+        choices=GEOMETRY_MODES,
+        default=None,
+        help="join geometry (env REPRO_GEOMETRY): mbr (default) joins "
+        "bounding boxes only; exact runs the filter-refine pipeline — "
+        "MBR candidates refined against true polygon/linestring "
+        "extents — and requires a shape-carrying dataset (polygons | "
+        "lines | neuro)",
+    )
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -83,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--decompose", **decompose_kwargs)
     run.add_argument("--dedup", **dedup_kwargs)
     run.add_argument("--max-bytes", **max_bytes_kwargs)
+    run.add_argument("--geometry", **geometry_kwargs)
     run.add_argument("--json", type=Path, default=None, help="also write rows as JSON")
     run.add_argument(
         "--chart",
@@ -99,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     everything.add_argument("--decompose", **decompose_kwargs)
     everything.add_argument("--dedup", **dedup_kwargs)
     everything.add_argument("--max-bytes", **max_bytes_kwargs)
+    everything.add_argument("--geometry", **geometry_kwargs)
     everything.add_argument(
         "--out-dir", type=Path, default=None, help="write one JSON per experiment"
     )
@@ -115,7 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="named workload dataset (uniform | gaussian | clustered | "
-        "neuro); unknown names list the registry instead of crashing",
+        "polygons | lines | neuro); unknown names list the registry "
+        "instead of crashing",
     )
     serve.add_argument(
         "--shards",
@@ -178,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         "2-D tile grid",
     )
     serve.add_argument("--backend", **backend_kwargs)
+    serve.add_argument("--geometry", **geometry_kwargs)
     serve.add_argument(
         "--compare-rebuild",
         action="store_true",
@@ -206,16 +219,27 @@ def _cmd_run(
     decompose: str | None = None,
     dedup: str | None = None,
     max_bytes: int | None = None,
+    geometry: str | None = None,
 ) -> int:
-    result = run_experiment(
-        experiment,
-        scale,
-        backend=backend,
-        workers=workers,
-        decompose=decompose,
-        dedup=dedup,
-        max_bytes=max_bytes,
-    )
+    from repro.refine import MissingShapesError
+
+    try:
+        result = run_experiment(
+            experiment,
+            scale,
+            backend=backend,
+            workers=workers,
+            decompose=decompose,
+            dedup=dedup,
+            max_bytes=max_bytes,
+            geometry=geometry,
+        )
+    except MissingShapesError as exc:
+        # ``--geometry exact`` over an MBR-only workload: name the
+        # dataset and exit cleanly instead of dumping a traceback, the
+        # same contract as ``serve`` with an unknown dataset name.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     print_experiment(result)
     if chart_metric is not None:
         from repro.bench.charts import chart_for_experiment
@@ -242,17 +266,25 @@ def _cmd_all(
     decompose: str | None = None,
     dedup: str | None = None,
     max_bytes: int | None = None,
+    geometry: str | None = None,
 ) -> int:
+    from repro.refine import MissingShapesError
+
     for name in EXPERIMENTS:
-        result = run_experiment(
-            name,
-            scale,
-            backend=backend,
-            workers=workers,
-            decompose=decompose,
-            dedup=dedup,
-            max_bytes=max_bytes,
-        )
+        try:
+            result = run_experiment(
+                name,
+                scale,
+                backend=backend,
+                workers=workers,
+                decompose=decompose,
+                dedup=dedup,
+                max_bytes=max_bytes,
+                geometry=geometry,
+            )
+        except MissingShapesError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
         print_experiment(result)
         if out_dir is not None:
             save_json(result, out_dir / f"{name}.json")
@@ -309,6 +341,7 @@ def _cmd_serve_sharded(args, dataset_a, dataset_b, epsilon, overrides) -> int:
         probes=args.probes,
         batch=args.batch,
         concurrency=args.concurrency,
+        geometry=args.geometry,
         **overrides,
     )
     print(
@@ -366,6 +399,7 @@ def _cmd_serve(args) -> int:
         probes=args.probes,
         batch=args.batch,
         compare_rebuild=args.compare_rebuild,
+        geometry=args.geometry,
         **overrides,
     )
     print(
@@ -422,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
             args.decompose,
             args.dedup,
             args.max_bytes,
+            args.geometry,
         )
     if args.command == "all":
         return _cmd_all(
@@ -432,6 +467,7 @@ def main(argv: list[str] | None = None) -> int:
             args.decompose,
             args.dedup,
             args.max_bytes,
+            args.geometry,
         )
     return 2  # pragma: no cover - argparse enforces the choices
 

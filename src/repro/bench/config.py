@@ -214,6 +214,11 @@ DEDUP_MODES = ("reference", "partition")
 #: engine — config must stay importable without numpy).
 HANDOFF_MODES = ("auto", "shm", "pickle")
 
+#: Valid values of the ``geometry`` execution option: ``"mbr"`` joins
+#: bounding boxes exactly as every PR before the filter-refine split,
+#: ``"exact"`` refines MBR candidates against the true shapes.
+GEOMETRY_MODES = ("mbr", "exact")
+
 
 @dataclass(frozen=True)
 class RunOptions:
@@ -260,6 +265,13 @@ class RunOptions:
         ``reuse_index`` the budget governs the service's probes and
         byte-accounted index cache.  ``None`` (default) means
         unbudgeted.
+    geometry:
+        Join predicate (``"mbr"`` | ``"exact"``; ``REPRO_GEOMETRY``).
+        ``"mbr"`` (the default) joins bounding boxes under the paper's
+        L∞ ε-reduction, bit-identical to the pre-pipeline behaviour.
+        ``"exact"`` adds the refinement stage: MBR candidates are
+        filtered down to pairs whose exact Euclidean shape distance is
+        within ε, using the datasets' shape payloads.
     """
 
     workers: int | None = None
@@ -269,6 +281,7 @@ class RunOptions:
     handoff: str | None = None
     reuse_index: "bool | object | None" = None
     max_bytes: int | None = None
+    geometry: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:
@@ -302,6 +315,11 @@ class RunOptions:
                 f"unknown handoff mode {self.handoff!r}; expected one of "
                 f"{', '.join(HANDOFF_MODES)}"
             )
+        if self.geometry is not None and self.geometry not in GEOMETRY_MODES:
+            raise ValueError(
+                f"unknown geometry mode {self.geometry!r}; expected one of "
+                f"{', '.join(GEOMETRY_MODES)}"
+            )
 
     @classmethod
     def from_env(cls) -> "RunOptions":
@@ -320,6 +338,7 @@ class RunOptions:
             backend=env_choice("REPRO_BACKEND", _backend_names()),
             handoff=env_choice("REPRO_HANDOFF", HANDOFF_MODES),
             max_bytes=env_int("REPRO_MAX_BYTES", minimum=1),
+            geometry=env_choice("REPRO_GEOMETRY", GEOMETRY_MODES),
         )
 
     def over(self, base: "RunOptions") -> "RunOptions":
@@ -334,6 +353,7 @@ class RunOptions:
                 ("handoff", self.handoff),
                 ("reuse_index", self.reuse_index),
                 ("max_bytes", self.max_bytes),
+                ("geometry", self.geometry),
             )
             if value is not None
         }
@@ -342,7 +362,15 @@ class RunOptions:
     def describe(self) -> dict:
         """The non-default fields, for reports and reprs."""
         out = {}
-        for field in ("workers", "decompose", "dedup", "backend", "handoff", "max_bytes"):
+        for field in (
+            "workers",
+            "decompose",
+            "dedup",
+            "backend",
+            "handoff",
+            "max_bytes",
+            "geometry",
+        ):
             value = getattr(self, field)
             if value is not None:
                 out[field] = value

@@ -25,6 +25,7 @@ from repro.bench.runner import (
     record_from_result,
     run_algorithm,
     use_backend,
+    use_geometry,
     use_max_bytes,
     use_parallel,
 )
@@ -32,6 +33,7 @@ from repro.bench.workloads import (
     FIG8_ALGORITHMS,
     LARGE_ALGORITHMS,
     LARGE_DISTRIBUTIONS,
+    SHAPE_DISTRIBUTIONS,
     neuro_pair,
     synthetic_pair,
 )
@@ -840,6 +842,126 @@ def experiment_bench_spill(scale: Scale) -> ExperimentResult:
     return out
 
 
+#: Algorithms the filter-refine experiment drives the pipeline through —
+#: one per index family (the spatial-partitioning hierarchy, a
+#: space-partitioner, an index-probe join).
+REFINE_ALGORITHMS = ("TOUCH", "PBSM-500", "RTree")
+
+
+def experiment_filter_refine(scale: Scale) -> ExperimentResult:
+    """Exact joins over non-point workloads, oracle parity hard-asserted.
+
+    For each shape workload (clustered polygons, linestrings) and each
+    algorithm in :data:`REFINE_ALGORITHMS`, the candidate join runs
+    filter-only (``geometry="mbr"``) and through the full filter–refine
+    pipeline.  Three invariants are *asserted*, not reported: the
+    refined pair set equals the brute-force exact-predicate oracle
+    (:func:`~repro.validation.brute_force_exact_pairs`), the counter
+    identity ``true_hits + exact_tests == candidate_pairs -
+    false_hit_prunes`` holds, and the refined set is a subset of the
+    candidates.  Rows carry refine selectivity (refined / candidates)
+    and the true-hit shortcut rate, so the sweep shows what the exact
+    predicate costs on top of the MBR filter.
+    """
+    from repro.refine import RefinePipeline
+    from repro.validation import brute_force_exact_pairs
+
+    out = ExperimentResult(
+        "filter_refine",
+        "Filter-refine exact joins over polygon/linestring workloads",
+        notes=(
+            "The MBR join is only the filter stage for non-point "
+            "geometry; the refine stage evaluates the exact distance "
+            "predicate on the candidates, with interior-rectangle "
+            "true-hit and MBR-gap false-hit shortcuts bounding the "
+            "exact tests.  Every refined pair set is asserted equal to "
+            "the brute-force exact oracle."
+        ),
+        scale=scale.name,
+    )
+    ambient = current_backend()
+    overrides = {"backend": ambient} if ambient else {}
+    epsilon = scale.large_epsilon
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    for distribution in SHAPE_DISTRIBUTIONS:
+        dataset_a, dataset_b = synthetic_pair(
+            distribution, scale.large_a, n_b, scale
+        )
+        oracle = brute_force_exact_pairs(dataset_a, dataset_b, epsilon)
+        # inflate() carries each object's exact shape through unchanged,
+        # so the refine stage below sees original (uninflated) extents.
+        build = inflate(dataset_a, epsilon)
+        probe = list(dataset_b)
+        for algorithm in REFINE_ALGORITHMS:
+            candidates = make_algorithm(algorithm, **overrides).join(
+                build, probe
+            )
+            record = record_from_result(
+                candidates, dataset_a.name, len(dataset_a), len(dataset_b),
+                epsilon,
+            )
+            out.add(record, geometry="mbr")
+
+            exact = make_algorithm(algorithm, **overrides).join(build, probe)
+            stats = exact.stats
+            refine_start = time.perf_counter()
+            refined = RefinePipeline(
+                epsilon, backend=ambient or "auto"
+            ).refine(exact.pairs, build, probe, stats=stats)
+            refine_seconds = time.perf_counter() - refine_start
+            refined_set = set(refined)
+            if refined_set != oracle:
+                raise AssertionError(
+                    f"{algorithm} on {dataset_a.name} diverges from the "
+                    f"exact oracle: {len(oracle - refined_set)} missing, "
+                    f"{len(refined_set - oracle)} spurious"
+                )
+            if not refined_set <= exact.pair_set():
+                raise AssertionError(
+                    f"{algorithm} on {dataset_a.name} refined pairs "
+                    "outside the candidate set"
+                )
+            if (
+                stats.true_hits + stats.exact_tests
+                != stats.candidate_pairs - stats.false_hit_prunes
+            ):
+                raise AssertionError(
+                    f"{algorithm} on {dataset_a.name} breaks the refine "
+                    f"counter identity: {stats.true_hits} true hits + "
+                    f"{stats.exact_tests} exact tests != "
+                    f"{stats.candidate_pairs} candidates - "
+                    f"{stats.false_hit_prunes} false-hit prunes"
+                )
+            stats.join_seconds += refine_seconds
+            stats.total_seconds += refine_seconds
+            stats.result_pairs = len(refined)
+            record = record_from_result(
+                exact, dataset_a.name, len(dataset_a), len(dataset_b),
+                epsilon,
+            )
+            out.add(
+                record,
+                geometry="exact",
+                candidate_pairs=stats.candidate_pairs,
+                false_hit_prunes=stats.false_hit_prunes,
+                true_hits=stats.true_hits,
+                exact_tests=stats.exact_tests,
+                refined_pairs=len(refined),
+                refine_seconds=refine_seconds,
+                refine_selectivity=(
+                    len(refined) / stats.candidate_pairs
+                    if stats.candidate_pairs
+                    else 1.0
+                ),
+                true_hit_rate=(
+                    stats.true_hits / stats.candidate_pairs
+                    if stats.candidate_pairs
+                    else 0.0
+                ),
+            )
+    return out
+
+
 #: experiment id → definition, in paper order.
 EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "table1": experiment_table1,
@@ -862,6 +984,7 @@ EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "repeated_probe": experiment_repeated_probe,
     "serve_load": experiment_serve_load,
     "bench_spill": experiment_bench_spill,
+    "filter_refine": experiment_filter_refine,
 }
 
 
@@ -873,6 +996,7 @@ def run_experiment(
     decompose: str | None = None,
     dedup: str | None = None,
     max_bytes: int | None = None,
+    geometry: str | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id at the given (or ambient) scale.
 
@@ -887,6 +1011,11 @@ def run_experiment(
     pick their own engine per run (``parallel_scaling``), compare
     sequential algorithms pair-for-pair (``two_layer``) or run through
     the in-process query service (``repeated_probe``) are unaffected.
+    ``geometry`` scopes the join mode (CLI ``--geometry``):
+    ``"exact"`` routes every :func:`run_algorithm` join through the
+    filter–refine pipeline, which requires shape-carrying datasets —
+    experiments over MBR-only workloads raise
+    :class:`~repro.refine.MissingShapesError` naming the dataset.
     """
     if not isinstance(scale, Scale):
         scale = current_scale(scale)
@@ -905,6 +1034,8 @@ def run_experiment(
             )
         if max_bytes is not None:
             stack.enter_context(use_max_bytes(max_bytes))
+        if geometry is not None:
+            stack.enter_context(use_geometry(geometry))
         # With no override the caller's ambient use_backend()/
         # REPRO_BACKEND/use_parallel() selections stay in effect.
         result = definition(scale)

@@ -29,6 +29,8 @@ __all__ = [
     "current_parallel",
     "use_max_bytes",
     "current_max_bytes",
+    "use_geometry",
+    "current_geometry",
     "current_options",
 ]
 
@@ -150,6 +152,40 @@ def use_max_bytes(max_bytes: int | None):
         _ACTIVE_MAX_BYTES = previous
 
 
+#: Ambient geometry-mode selection, mirroring the backend override:
+#: ``"mbr"`` / ``"exact"`` or ``None`` for the default MBR join.  Set
+#: per process with ``REPRO_GEOMETRY``, or scoped with
+#: :func:`use_geometry` (what the CLI ``--geometry`` flag does).
+_ACTIVE_GEOMETRY: str | None = None
+
+
+def current_geometry() -> str | None:
+    """The ambient geometry mode, if any."""
+    if _ACTIVE_GEOMETRY is not None:
+        return _ACTIVE_GEOMETRY
+    from repro.bench.config import GEOMETRY_MODES
+
+    return _env_choice("REPRO_GEOMETRY", GEOMETRY_MODES)
+
+
+@contextlib.contextmanager
+def use_geometry(geometry: str | None):
+    """Scope an ambient geometry mode for every :func:`run_algorithm` call.
+
+    ``"exact"`` routes joins through the filter-refine pipeline (MBR
+    candidates refined against the datasets' exact shapes); ``None``
+    clears the override.  Explicit ``options=RunOptions(geometry=...)``
+    still wins.
+    """
+    global _ACTIVE_GEOMETRY
+    previous = _ACTIVE_GEOMETRY
+    _ACTIVE_GEOMETRY = geometry
+    try:
+        yield
+    finally:
+        _ACTIVE_GEOMETRY = previous
+
+
 def current_options() -> RunOptions:
     """The ambient execution options: scoped overrides first, then env.
 
@@ -164,8 +200,11 @@ def current_options() -> RunOptions:
     backend = current_backend()
     handoff = _env_choice("REPRO_HANDOFF", ("auto", "shm", "pickle"))
     max_bytes = current_max_bytes()
+    geometry = current_geometry()
     if parallel is None:
-        return RunOptions(backend=backend, handoff=handoff, max_bytes=max_bytes)
+        return RunOptions(
+            backend=backend, handoff=handoff, max_bytes=max_bytes, geometry=geometry
+        )
     workers, decompose, dedup = parallel
     return RunOptions(
         workers=workers,
@@ -174,6 +213,7 @@ def current_options() -> RunOptions:
         backend=backend,
         handoff=handoff,
         max_bytes=max_bytes,
+        geometry=geometry,
     )
 
 
@@ -304,6 +344,34 @@ def _legacy_overlay(
     return RunOptions(**provided)
 
 
+def _check_shapes(dataset) -> None:
+    """Fail fast when ``geometry="exact"`` meets an MBR-only dataset."""
+    if isinstance(dataset, Dataset) and not dataset.has_shapes:
+        from repro.refine import MissingShapesError
+
+        raise MissingShapesError(dataset.name)
+
+
+def _shaped(objects):
+    """Objects with exact shapes attached (box fallback over ``obj.mbr``).
+
+    Refinement evaluates shapes, never MBRs, so attaching the box
+    *before* any epsilon inflation pins the original extents — this is
+    what lets the refine stage receive the inflated build side and still
+    be correct.
+    """
+    from repro.geometry.objects import SpatialObject
+    from repro.geometry.shapes import Shape
+    from repro.geometry.vertex_table import shape_of
+
+    return [
+        obj
+        if isinstance(obj.geometry, Shape)
+        else SpatialObject(obj.oid, obj.mbr, shape_of(obj))
+        for obj in objects
+    ]
+
+
 def run_algorithm(
     algorithm_name: str,
     dataset_a: Dataset | Sequence,
@@ -353,6 +421,10 @@ def run_algorithm(
         resolved = legacy.over(resolved)
     if resolved.backend is not None and "backend" not in algorithm_overrides:
         algorithm_overrides = {**algorithm_overrides, "backend": resolved.backend}
+    exact = (resolved.geometry or "mbr") == "exact"
+    if exact:
+        _check_shapes(dataset_a)
+        _check_shapes(dataset_b)
     if resolved.reuse_index:
         if resolved.workers:
             raise ValueError(
@@ -374,6 +446,7 @@ def run_algorithm(
             epsilon,
             algorithm=algorithm_name,
             max_bytes=resolved.max_bytes,
+            geometry=resolved.geometry or "mbr",
             **algorithm_overrides,
         )
         dataset_name = (
@@ -386,6 +459,8 @@ def run_algorithm(
         record.extra["index_build_seconds"] = result.parameters.get(
             "build_seconds", 0.0
         )
+        if exact:
+            _add_refine_extras(record, result)
         return record
     if resolved.workers:
         # Imported lazily: repro.parallel pulls in multiprocessing
@@ -400,6 +475,8 @@ def run_algorithm(
             dedup=resolved.dedup or "reference",
             handoff=resolved.handoff or "auto",
             max_bytes=resolved.max_bytes,
+            geometry=resolved.geometry or "mbr",
+            refine_epsilon=epsilon if exact else None,
         )
     elif resolved.max_bytes is not None:
         # Imported lazily, like the engines: the memory governor pulls in
@@ -413,11 +490,76 @@ def run_algorithm(
         )
     else:
         algorithm = make_algorithm(algorithm_name, **algorithm_overrides)
-    build = (
-        inflate(dataset_a, epsilon)
-        if isinstance(dataset_a, Dataset)
-        else [obj.inflated(epsilon) for obj in dataset_a]
-    )
-    result = algorithm.join(build, dataset_b)
+    if exact:
+        # Shapes attach before inflation so refinement sees original
+        # extents even through the inflated build side.
+        probe_b = _shaped(dataset_b)
+        build = [obj.inflated(epsilon) for obj in _shaped(dataset_a)]
+    else:
+        probe_b = dataset_b
+        build = (
+            inflate(dataset_a, epsilon)
+            if isinstance(dataset_a, Dataset)
+            else [obj.inflated(epsilon) for obj in dataset_a]
+        )
+    result = algorithm.join(build, probe_b)
+    if exact and not resolved.workers:
+        # The multiprocess engine refines inside its workers; every
+        # other execution path refines the candidate join here.
+        result = _refine_result(
+            result, build, probe_b, epsilon, resolved.backend or "auto"
+        )
     dataset_name = dataset_a.name if isinstance(dataset_a, Dataset) else "adhoc"
-    return record_from_result(result, dataset_name, len(dataset_a), len(dataset_b), epsilon)
+    record = record_from_result(
+        result, dataset_name, len(dataset_a), len(dataset_b), epsilon
+    )
+    if exact:
+        _add_refine_extras(record, result)
+    return record
+
+
+def _refine_result(
+    result: JoinResult,
+    build,
+    probe_b,
+    epsilon: float,
+    backend: str,
+) -> JoinResult:
+    """Run the refine stage over a filter result, folding in counters."""
+    import time
+
+    from repro.refine import RefinePipeline
+
+    stats = result.stats
+    start = time.perf_counter()
+    refined = RefinePipeline(epsilon, backend=backend).refine(
+        result.pairs, build, probe_b, stats=stats
+    )
+    refine_seconds = time.perf_counter() - start
+    stats.join_seconds += refine_seconds
+    stats.total_seconds += refine_seconds
+    stats.extra["refine_seconds"] = refine_seconds
+    stats.result_pairs = len(refined)
+    return JoinResult(
+        result.algorithm,
+        refined,
+        stats,
+        {**result.parameters, "geometry": "exact"},
+    )
+
+
+def _add_refine_extras(record: RunRecord, result: JoinResult) -> None:
+    """Surface filter-refine accounting on exact-mode run records.
+
+    Only exact runs get these keys, which keeps ``geometry="mbr"``
+    records byte-identical to the pre-pipeline harness.
+    """
+    stats = result.stats
+    record.extra.update(
+        geometry="exact",
+        candidate_pairs=stats.candidate_pairs,
+        false_hit_prunes=stats.false_hit_prunes,
+        true_hits=stats.true_hits,
+        exact_tests=stats.exact_tests,
+        refined_pairs=stats.refined_pairs,
+    )

@@ -19,6 +19,7 @@ __all__ = [
     "neuro_pair",
     "named_pair",
     "LARGE_DISTRIBUTIONS",
+    "SHAPE_DISTRIBUTIONS",
     "WORKLOAD_DATASETS",
     "FIG8_ALGORITHMS",
     "LARGE_ALGORITHMS",
@@ -60,22 +61,26 @@ def synthetic_pair(
     return dataset_a, dataset_b
 
 
+#: The non-point (shape-carrying) workloads of the filter-refine tier.
+SHAPE_DISTRIBUTIONS = ("polygons", "lines")
+
 #: Dataset names accepted by ``repro-touch serve --dataset`` and
-#: :func:`named_pair`: the three synthetic distributions plus the
-#: neuroscience model.
-WORKLOAD_DATASETS = LARGE_DISTRIBUTIONS + ("neuro",)
+#: :func:`named_pair`: the three synthetic box distributions, the
+#: non-point polygon/linestring workloads, plus the neuroscience model.
+WORKLOAD_DATASETS = LARGE_DISTRIBUTIONS + SHAPE_DISTRIBUTIONS + ("neuro",)
 
 
 def named_pair(name: str, scale: Scale) -> tuple[Dataset, Dataset]:
     """The (build, probe) dataset pair registered under ``name``.
 
     Synthetic names use the scale's large-workload cardinalities (A
-    fixed, B at the middle sweep step); ``"neuro"`` is the (axons,
-    dendrites) pair.  Raises :class:`KeyError` naming the known datasets
-    for anything else — callers (the serve CLI) surface that list
-    instead of a traceback.
+    fixed, B at the middle sweep step); the polygon/linestring workloads
+    carry exact shape payloads for ``geometry="exact"`` joins;
+    ``"neuro"`` is the (axons, dendrites) pair.  Raises
+    :class:`KeyError` naming the known datasets for anything else —
+    callers (the serve CLI) surface that list instead of a traceback.
     """
-    if name in LARGE_DISTRIBUTIONS:
+    if name in LARGE_DISTRIBUTIONS + SHAPE_DISTRIBUTIONS:
         n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
         return synthetic_pair(name, scale.large_a, n_b, scale)
     if name == "neuro":

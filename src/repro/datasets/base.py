@@ -75,13 +75,37 @@ class Dataset(Sequence[SpatialObject]):
             return self._objects[0].mbr.dim
         return self.universe.dim
 
+    # -- exact-geometry payloads --------------------------------------------
+    @property
+    def has_shapes(self) -> bool:
+        """Whether any object carries an exact shape payload.
+
+        ``geometry="exact"`` joins require shape-carrying datasets;
+        MBR-only objects inside a shaped dataset refine as solid boxes
+        over their MBR.
+        """
+        from repro.geometry.shapes import Shape
+
+        return any(isinstance(obj.geometry, Shape) for obj in self._objects)
+
+    def vertex_table(self):
+        """The dataset's shapes in columnar CSR form (``VertexTable``).
+
+        MBR-only objects contribute box shapes over their MBR; the
+        refinement-phase twin of :meth:`to_table`.
+        """
+        from repro.geometry.vertex_table import VertexTable
+
+        return VertexTable.from_objects(self._objects)
+
     # -- columnar conversion ------------------------------------------------
     def to_table(self) -> CoordinateTable:
         """The dataset as a contiguous coordinate table (columnar form).
 
         Ids are the object ``oid``\\ s; coordinates round-trip exactly.
         Exact geometries (refinement shapes) are not carried — the table
-        is the filtering-phase view of the data.
+        is the filtering-phase view of the data (see :meth:`vertex_table`
+        for the refinement-phase twin).
         """
         return CoordinateTable.from_objects(self._objects)
 

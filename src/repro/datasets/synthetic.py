@@ -26,6 +26,8 @@ __all__ = [
     "uniform_boxes",
     "gaussian_boxes",
     "clustered_boxes",
+    "clustered_polygons",
+    "clustered_linestrings",
     "make_distribution",
     "DISTRIBUTIONS",
     "SPACE_UNITS",
@@ -156,11 +158,133 @@ def clustered_boxes(
     )
 
 
+def clustered_polygons(
+    n: int,
+    space: float = SPACE_UNITS,
+    n_clusters: int = 100,
+    cluster_sigma: float | None = None,
+    vertex_range: tuple[int, int] = (3, 12),
+    radius_range: tuple[float, float] = (0.1, 0.5),
+    seed: int | None = None,
+) -> Dataset:
+    """Clustered random 2-D polygons with exact shape payloads.
+
+    Star-shaped rings: random radii at sorted random angles around a
+    clustered centre, which guarantees a simple (non-self-intersecting)
+    polygon at any vertex count.  ``vertex_range`` bounds the vertex
+    count per object; ``radius_range`` controls object size and with it
+    join selectivity — the default maximum radius of 0.5 caps every
+    MBR side at 1.0, the same per-object extent invariant the box
+    distributions satisfy.
+    """
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    if vertex_range[0] < 3:
+        raise ValueError(f"polygons need >= 3 vertices, got range {vertex_range}")
+    if cluster_sigma is None:
+        cluster_sigma = 0.22 * space
+    from repro.geometry.shapes import Polygon
+
+    rng = np.random.default_rng(seed)
+    cluster_centers = rng.uniform(0.0, space, size=(n_clusters, 2))
+    membership = rng.integers(0, n_clusters, size=n)
+    centers = cluster_centers[membership] + rng.normal(0.0, cluster_sigma, size=(n, 2))
+    centers = np.clip(centers, 0.0, space)
+    counts = rng.integers(vertex_range[0], vertex_range[1] + 1, size=n)
+    objects = []
+    for i in range(n):
+        k = int(counts[i])
+        angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, size=k))
+        radii = rng.uniform(radius_range[0], radius_range[1], size=k)
+        xs = centers[i, 0] + radii * np.cos(angles)
+        ys = centers[i, 1] + radii * np.sin(angles)
+        shape = Polygon(list(zip(xs.tolist(), ys.tolist())), oid=i)
+        objects.append(SpatialObject(i, shape.mbr(), shape))
+    return Dataset(
+        objects,
+        name=f"polygons-{n}",
+        universe=None,  # tight bound: radii may poke past the clamped centres
+        metadata={
+            "distribution": "polygons",
+            "n": n,
+            "space": space,
+            "n_clusters": n_clusters,
+            "cluster_sigma": cluster_sigma,
+            "vertex_range": vertex_range,
+            "radius_range": radius_range,
+            "seed": seed,
+        },
+    )
+
+
+def clustered_linestrings(
+    n: int,
+    space: float = SPACE_UNITS,
+    n_clusters: int = 100,
+    cluster_sigma: float | None = None,
+    segment_range: tuple[int, int] = (1, 8),
+    step_range: tuple[float, float] = (0.04, 0.12),
+    seed: int | None = None,
+) -> Dataset:
+    """Clustered random 2-D polylines (trajectory-style workload).
+
+    Each linestring starts at a clustered point and takes
+    ``segment_range`` random-walk steps of ``step_range`` length, so
+    vertex counts stay bounded and selectivity tracks the step length.
+    The default 8 × 0.12 walk caps every MBR side at 0.96 — inside the
+    unit per-object extent the box distributions guarantee.
+    """
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    if segment_range[0] < 1:
+        raise ValueError(f"linestrings need >= 1 segment, got range {segment_range}")
+    if step_range[0] <= 0.0:
+        raise ValueError(f"step lengths must be positive, got range {step_range}")
+    if cluster_sigma is None:
+        cluster_sigma = 0.22 * space
+    from repro.geometry.shapes import LineString
+
+    rng = np.random.default_rng(seed)
+    cluster_centers = rng.uniform(0.0, space, size=(n_clusters, 2))
+    membership = rng.integers(0, n_clusters, size=n)
+    starts = cluster_centers[membership] + rng.normal(0.0, cluster_sigma, size=(n, 2))
+    starts = np.clip(starts, 0.0, space)
+    counts = rng.integers(segment_range[0], segment_range[1] + 1, size=n)
+    objects = []
+    for i in range(n):
+        k = int(counts[i])
+        headings = rng.uniform(0.0, 2.0 * np.pi, size=k)
+        steps = rng.uniform(step_range[0], step_range[1], size=k)
+        dx = np.cumsum(steps * np.cos(headings))
+        dy = np.cumsum(steps * np.sin(headings))
+        xs = np.concatenate(([starts[i, 0]], starts[i, 0] + dx))
+        ys = np.concatenate(([starts[i, 1]], starts[i, 1] + dy))
+        shape = LineString(list(zip(xs.tolist(), ys.tolist())), oid=i)
+        objects.append(SpatialObject(i, shape.mbr(), shape))
+    return Dataset(
+        objects,
+        name=f"lines-{n}",
+        universe=None,
+        metadata={
+            "distribution": "lines",
+            "n": n,
+            "space": space,
+            "n_clusters": n_clusters,
+            "cluster_sigma": cluster_sigma,
+            "segment_range": segment_range,
+            "step_range": step_range,
+            "seed": seed,
+        },
+    )
+
+
 #: distribution name → generator, as used by the bench harness.
 DISTRIBUTIONS = {
     "uniform": uniform_boxes,
     "gaussian": gaussian_boxes,
     "clustered": clustered_boxes,
+    "polygons": clustered_polygons,
+    "lines": clustered_linestrings,
 }
 
 

@@ -1,4 +1,4 @@
-"""Geometric primitives: MBRs, spatial objects and exact distances."""
+"""Geometric primitives: MBRs, spatial objects, shapes and exact distances."""
 
 from repro.geometry.distance import (
     Box,
@@ -14,6 +14,16 @@ from repro.geometry.objects import (
     objects_from_mbrs,
     point_object,
 )
+from repro.geometry.shapes import (
+    BoxShape,
+    LineString,
+    Point,
+    Polygon,
+    Shape,
+    shape_distance,
+    shape_from_payload,
+    shape_to_payload,
+)
 
 __all__ = [
     "MBR",
@@ -28,4 +38,12 @@ __all__ = [
     "point_distance",
     "point_segment_distance",
     "segment_distance",
+    "Shape",
+    "Point",
+    "LineString",
+    "Polygon",
+    "BoxShape",
+    "shape_distance",
+    "shape_from_payload",
+    "shape_to_payload",
 ]

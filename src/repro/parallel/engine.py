@@ -42,6 +42,15 @@ shared-memory and pickle hand-offs; the parity suite
 (``tests/test_parallel_parity.py``) pins both for every registered
 algorithm.
 
+With ``geometry="exact"`` the engine runs the filter-refine split
+in-worker: vertex data travels next to the coordinates (a second
+shared-memory :class:`~repro.geometry.vertex_table.VertexTable` block
+sliced by the same row indices on the shm path, sliced vertex tables or
+shape payloads on the pickle paths), and each worker refines its
+*owned* candidate pairs locally before they travel back.  Refining
+after the ownership test keeps the merge duplicate-free and makes the
+summed refine counters count every global candidate exactly once.
+
 Worker pools (:class:`concurrent.futures.ProcessPoolExecutor`) are
 cached per ``(start_method, workers)`` and reused across joins (fork
 start-up is cheap, but spawn is not); call :func:`shutdown_pools` to
@@ -57,6 +66,7 @@ blocks in ``finally`` so ``/dev/shm`` is never stranded.
 from __future__ import annotations
 
 import atexit
+import math
 import multiprocessing
 import pickle
 import time
@@ -169,11 +179,23 @@ class _ColumnarSlicer:
         decomposition: Decomposition,
         dedup: str,
         handoff: str = "pickle",
+        exact: bool = False,
     ) -> None:
         self.table = CoordinateTable.from_objects(objects)
         self.dedup = dedup
         self.handoff = handoff
         self.block = self.table.to_shared() if handoff == "shm" else None
+        self.vtable = None
+        self.vblock = None
+        if exact:
+            # Exact mode ships vertex data next to the coordinates: the
+            # same member rows slice both tables, so workers re-attach
+            # shapes positionally.
+            from repro.geometry.vertex_table import VertexTable
+
+            self.vtable = VertexTable.from_objects(objects)
+            if handoff == "shm":
+                self.vblock = self.vtable.to_shared()
         if dedup != "partition":
             return
         import numpy as np
@@ -191,17 +213,36 @@ class _ColumnarSlicer:
                 out.append(np.clip(owner, 0, last))
 
     def close(self) -> None:
-        """Unlink the published shared block (idempotent)."""
+        """Unlink the published shared blocks (idempotent)."""
         if self.block is not None:
             self.block.close(unlink=True)
+        if self.vblock is not None:
+            self.vblock.close(unlink=True)
 
     def _payload(self, member, classes):
         import numpy as np
 
         if self.block is not None:
             indices = np.flatnonzero(member).astype(np.int64, copy=False)
+            if self.vblock is not None:
+                return (
+                    "shm",
+                    self.block.handle,
+                    indices,
+                    classes,
+                    self.vblock.handle,
+                )
             return ("shm", self.block.handle, indices, classes)
         table = self.table
+        if self.vtable is not None:
+            vertex_slice = self.vtable.take(np.flatnonzero(member))
+            return (
+                "table",
+                table.coords[member],
+                table.ids[member],
+                classes,
+                vertex_slice,
+            )
         return ("table", table.coords[member], table.ids[member], classes)
 
     def chunk(self, region):
@@ -236,37 +277,56 @@ class _ObjectSlicer:
         decomposition: Decomposition,
         dedup: str,
         handoff: str = "pickle",
+        exact: bool = False,
     ) -> None:
         self.objects = objects
         self.decomposition = decomposition
         self.dedup = dedup
+        self.exact = exact
 
     def close(self) -> None:
         """Nothing published, nothing to release."""
+
+    def _payload(self, members, classes):
+        rows = [(o.oid, o.mbr.lo, o.mbr.hi) for o in members]
+        if not self.exact:
+            return ("objects", rows, classes)
+        from repro.geometry.shapes import shape_to_payload
+
+        return ("objects", rows, classes, [shape_to_payload(o.geometry) for o in members])
 
     def chunk(self, region):
         if self.dedup != "partition":
             members = [o for o in self.objects if region.touches(o.mbr)]
             if not members:
                 return None
-            return ("objects", [(o.oid, o.mbr.lo, o.mbr.hi) for o in members], None)
+            return self._payload(members, None)
         decomposition = self.decomposition
         members = [o for o in self.objects if decomposition.covers(region, o.mbr)]
         if not members:
             return None
         classes = [decomposition.class_mask(region, o.mbr) for o in members]
-        return ("objects", [(o.oid, o.mbr.lo, o.mbr.hi) for o in members], classes)
+        return self._payload(members, classes)
 
 
 def _make_slicer(
-    objects: list[SpatialObject], decomposition, dedup: str, handoff: str
+    objects: list[SpatialObject],
+    decomposition,
+    dedup: str,
+    handoff: str,
+    exact: bool = False,
 ):
     slicer = _ColumnarSlicer if HAVE_NUMPY else _ObjectSlicer
-    return slicer(objects, decomposition, dedup, handoff)
+    return slicer(objects, decomposition, dedup, handoff, exact)
 
 
 #: Valid values of the ``handoff`` selector.
 HANDOFF_MODES = ("auto", "shm", "pickle")
+
+#: Valid values of the ``geometry`` selector (mirrors
+#: :data:`repro.bench.config.GEOMETRY_MODES`, which the engine must not
+#: import — the bench layer sits above the engines).
+GEOMETRY_MODES = ("mbr", "exact")
 
 
 def _resolve_handoff(handoff: str) -> str:
@@ -287,19 +347,56 @@ def _resolve_handoff(handoff: str) -> str:
 # -- worker-side code ---------------------------------------------------
 
 
+def _with_shapes(objects, vertex_table):
+    """Re-attach exact shapes to rebuilt objects, by table position."""
+    return [
+        SpatialObject(obj.oid, obj.mbr, vertex_table.shape_at(i))
+        for i, obj in enumerate(objects)
+    ]
+
+
 def _unpack_chunk(payload):
-    """Rebuild the region's objects (and class masks) inside the worker."""
+    """Rebuild the region's objects (and class masks) inside the worker.
+
+    Exact-mode payloads carry one extra element of vertex data (a shared
+    vertex-table handle, a sliced :class:`VertexTable`, or shape
+    payloads), re-attached here so the worker can refine locally.
+    """
     tag = payload[0]
     if tag == "shm":
         # Attach the parent's shared block, copy out just this region's
         # rows, detach.  The worker keeps no reference to the segment.
+        if len(payload) == 5:
+            from repro.geometry.vertex_table import VertexTable
+
+            _tag, handle, indices, classes, vertex_handle = payload
+            objects = _with_shapes(
+                CoordinateTable.shm_slice(handle, indices).to_objects(),
+                VertexTable.shm_slice(vertex_handle, indices),
+            )
+            return objects, None if classes is None else classes.tolist()
         _tag, handle, indices, classes = payload
         objects = CoordinateTable.shm_slice(handle, indices).to_objects()
         return objects, None if classes is None else classes.tolist()
     if tag == "table":
+        if len(payload) == 5:
+            _tag, coords, ids, classes, vertex_slice = payload
+            objects = _with_shapes(
+                CoordinateTable(coords, ids).to_objects(), vertex_slice
+            )
+            return objects, None if classes is None else classes.tolist()
         _tag, coords, ids, classes = payload
         objects = CoordinateTable(coords, ids).to_objects()
         return objects, None if classes is None else classes.tolist()
+    if len(payload) == 4:
+        from repro.geometry.shapes import shape_from_payload
+
+        _tag, rows, classes, shapes = payload
+        objects = [
+            SpatialObject(oid, MBR(lo, hi), shape_from_payload(shape, oid=oid))
+            for (oid, lo, hi), shape in zip(rows, shapes)
+        ]
+        return objects, classes
     _tag, rows, classes = payload
     return [SpatialObject(oid, MBR(lo, hi)) for oid, lo, hi in rows], classes
 
@@ -323,6 +420,39 @@ def _fold_spill_counters(stats: JoinStatistics, chunk_stats: JoinStatistics) -> 
             stats.extra[key] = stats.extra.get(key, 0) + int(value)
 
 
+def _require_shapes(objects, side: str) -> None:
+    """Exact mode demands explicit shapes on every object.
+
+    A missing shape would silently fall back to a box over ``obj.mbr``
+    — which on this path is the *inflated* build MBR, not the original
+    extent — so the engine refuses rather than refining wrong.
+    """
+    from repro.geometry.shapes import Shape
+
+    for obj in objects:
+        if not isinstance(obj.geometry, Shape):
+            raise ValueError(
+                f"geometry='exact' requires every {side}-side object to "
+                f"carry an exact shape attached before epsilon inflation; "
+                f"object #{obj.oid} has none"
+            )
+
+
+def _refine_chunk(pairs, objects_a, objects_b, refine, stats):
+    """Refine this worker's owned pairs against the chunk's exact shapes.
+
+    Runs *after* the ownership test, so the owned sets partition the
+    global candidate set and the summed refine counters count every
+    candidate exactly once across workers.
+    """
+    from repro.refine import RefinePipeline
+
+    epsilon, backend = refine
+    return RefinePipeline(epsilon, backend=backend).refine(
+        pairs, objects_a, objects_b, stats=stats
+    )
+
+
 def _run_chunk(task):
     """Worker entry point: join one region, free of cross-region dupes.
 
@@ -331,10 +461,21 @@ def _run_chunk(task):
     every result pair is then ownership-tested (the in-worker dedup
     pass); with ``dedup="partition"`` the members arrive pre-classified
     and the allowed class-pair mini-joins are executed instead — owned
-    by construction, no per-pair test.  Must stay a module-level
+    by construction, no per-pair test.  ``refine`` (``(epsilon,
+    backend)`` or ``None``) runs the exact-geometry refine stage over
+    the owned pairs before they travel back.  Must stay a module-level
     function so it pickles under every start method.
     """
-    spec, decomposition, region_index, chunk_a, chunk_b, dedup, max_bytes = task
+    (
+        spec,
+        decomposition,
+        region_index,
+        chunk_a,
+        chunk_b,
+        dedup,
+        max_bytes,
+        refine,
+    ) = task
     start = time.perf_counter()
     objects_a, classes_a = _unpack_chunk(chunk_a)
     objects_b, classes_b = _unpack_chunk(chunk_b)
@@ -364,6 +505,8 @@ def _run_chunk(task):
             stats.merge(result.stats)
             _fold_spill_counters(stats, result.stats)
             pairs.extend(result.pairs)
+        if refine is not None:
+            pairs = _refine_chunk(pairs, objects_a, objects_b, refine, stats)
         return region_index, pairs, 0, stats, time.perf_counter() - start
 
     result = fresh().join(objects_a, objects_b)
@@ -378,6 +521,8 @@ def _run_chunk(task):
             owned.append((oid_a, oid_b))
         else:
             duplicates += 1
+    if refine is not None:
+        owned = _refine_chunk(owned, objects_a, objects_b, refine, result.stats)
     return region_index, owned, duplicates, result.stats, time.perf_counter() - start
 
 
@@ -428,6 +573,20 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         ``stats.extra``.  Pair parity with the unbudgeted engine is
         exact (the budgeted join is complete and duplicate-free for its
         inputs).
+    geometry:
+        ``"mbr"`` (default) returns MBR candidate pairs exactly as
+        before; ``"exact"`` ships vertex data alongside the coordinates
+        and refines each worker's owned pairs against the objects'
+        exact shapes.  Exact mode requires every object to carry a
+        :class:`~repro.geometry.shapes.Shape` attached *before* any ε
+        inflation (the harness's ``_shaped`` rule) — refinement reads
+        shapes only, so the inflated build MBRs never leak into the
+        exact predicate.
+    refine_epsilon:
+        The ε of the exact distance predicate (required with
+        ``geometry="exact"``, rejected otherwise).  Kept separate from
+        the builder's inflation because the engine never inflates — it
+        receives the already-inflated build side.
     """
 
     name = "Parallel"
@@ -447,6 +606,8 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         start_method: str | None = None,
         handoff: str = "auto",
         max_bytes: int | None = None,
+        geometry: str = "mbr",
+        refine_epsilon: float | None = None,
         **overrides,
     ) -> None:
         if workers < 1:
@@ -479,6 +640,24 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
                 f"unknown decomposition kind {kind!r}; expected one of "
                 f"{', '.join(DECOMPOSE_KINDS)}"
             )
+        if geometry not in GEOMETRY_MODES:
+            raise ValueError(
+                f"unknown geometry mode {geometry!r}; expected one of "
+                f"{', '.join(GEOMETRY_MODES)}"
+            )
+        if geometry == "exact":
+            if refine_epsilon is None:
+                raise ValueError("geometry='exact' requires refine_epsilon")
+            refine_epsilon = float(refine_epsilon)
+            if not math.isfinite(refine_epsilon) or refine_epsilon < 0:
+                raise ValueError(
+                    f"refine_epsilon must be finite and non-negative, "
+                    f"got {refine_epsilon!r}"
+                )
+        elif refine_epsilon is not None:
+            raise ValueError(
+                "refine_epsilon is only meaningful with geometry='exact'"
+            )
         if isinstance(algorithm, str):
             algorithm = AlgorithmSpec.create(algorithm, **overrides)
         elif overrides:
@@ -503,6 +682,8 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         self.dedup = dedup
         self.handoff = handoff
         self.max_bytes = max_bytes
+        self.geometry = geometry
+        self.refine_epsilon = refine_epsilon
         self.start_method = start_method or _default_start_method()
         chunk_label = "auto" if n_chunks is None else str(n_chunks)
         suffix = "" if kind == "slabs" else f":{kind}"
@@ -511,7 +692,7 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         self.name = f"Parallel[{base_name}x{chunk_label}{suffix}@{workers}w]"
 
     def describe(self) -> dict:
-        return {
+        info = {
             "workers": self.workers,
             "n_chunks": self.n_chunks,
             "decompose": self.kind,
@@ -521,6 +702,12 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
             "max_bytes": self.max_bytes,
             "start_method": self.start_method,
         }
+        if self.geometry != "mbr":
+            # Only exact runs grow keys, keeping mbr-mode descriptions
+            # (and the records built from them) byte-identical.
+            info["geometry"] = self.geometry
+            info["refine_epsilon"] = self.refine_epsilon
+        return info
 
     def _execute(
         self,
@@ -528,6 +715,10 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
         objects_b: list[SpatialObject],
         stats: JoinStatistics,
     ) -> list[Pair]:
+        exact = self.geometry == "exact"
+        if exact:
+            _require_shapes(objects_a, "build")
+            _require_shapes(objects_b, "probe")
         n_chunks = self.n_chunks or adaptive_chunk_count(
             len(objects_a) + len(objects_b), self.workers
         )
@@ -558,9 +749,17 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
             universe, kind=self.kind, n_chunks=n_chunks, axis=self.axis
         )
         spec = self._wire_spec()
-        slicer_a = _make_slicer(objects_a, decomposition, self.dedup, handoff)
+        refine = None
+        if exact:
+            backend = None
+            if isinstance(self.spec, AlgorithmSpec):
+                backend = dict(self.spec.overrides).get("backend")
+            refine = (self.refine_epsilon, backend or "auto")
+        slicer_a = _make_slicer(objects_a, decomposition, self.dedup, handoff, exact)
         try:
-            slicer_b = _make_slicer(objects_b, decomposition, self.dedup, handoff)
+            slicer_b = _make_slicer(
+                objects_b, decomposition, self.dedup, handoff, exact
+            )
         except BaseException:
             slicer_a.close()
             raise
@@ -586,6 +785,7 @@ class ParallelChunkedJoin(SpatialJoinAlgorithm):
                         chunk_b,
                         self.dedup,
                         worker_max_bytes,
+                        refine,
                     )
                 )
             # Instrumented so tests can assert the shm hot path never

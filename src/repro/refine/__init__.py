@@ -1,0 +1,11 @@
+"""Exact-geometry refinement: the second stage of filter-refine joins.
+
+The filter stage is any registry algorithm producing MBR candidate
+pairs; this package turns candidates into exact answers.  See
+``docs/geometry.md`` for the shape model and the true-hit / false-hit
+shortcut rules.
+"""
+
+from repro.refine.pipeline import MissingShapesError, RefinePipeline
+
+__all__ = ["MissingShapesError", "RefinePipeline"]

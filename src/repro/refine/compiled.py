@@ -1,0 +1,144 @@
+"""Optional compiled (numba) twin of the refinement cross-distance kernel.
+
+Follows the ``geometry/compiled.py`` conventions: availability is the
+shared ``REPRO_COMPILED`` switch (``auto`` / ``force`` / ``off``), a
+numba compilation failure disables the jitted kernel for the process
+with a ``RuntimeWarning``, and the ``force`` mode (CI legs without
+numba, the local test suite) runs the pure-numpy twin
+:func:`repro.refine.kernels.min_cross_sq` — which mirrors the scalar
+arithmetic exactly, so pairs and counters are identical either way.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.geometry.compiled import HAVE_NUMBA, compiled_available, compiled_mode
+from repro.refine.kernels import min_cross_sq
+
+__all__ = ["compiled_available", "compiled_mode", "min_cross_sq_compiled"]
+
+_numba_failed = False
+_jitted = None
+
+
+def _disable_numba(error: Exception) -> None:
+    global _numba_failed
+    _numba_failed = True
+    warnings.warn(
+        f"numba refine kernel disabled after failure: {error!r}; "
+        "falling back to the numpy twin",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _kernel():
+    """The jitted cross-distance kernel, or ``None`` for the numpy twin."""
+    global _jitted
+    if _numba_failed or not HAVE_NUMBA:
+        return None
+    if _jitted is None:
+        try:
+            _jitted = _build_numba_kernel()
+        except Exception as error:  # pragma: no cover - requires numba
+            _disable_numba(error)
+            return None
+    return _jitted
+
+
+def min_cross_sq_compiled(segs_a, segs_b) -> float:
+    """Minimum squared segment-cross distance, jitted when numba is live."""
+    kernel = _kernel()
+    if kernel is None:
+        return min_cross_sq(segs_a, segs_b)
+    try:
+        return float(kernel(segs_a, segs_b))
+    except Exception as error:  # pragma: no cover - requires numba
+        _disable_numba(error)
+        return min_cross_sq(segs_a, segs_b)
+
+
+def _build_numba_kernel():  # pragma: no cover - requires numba
+    import numba
+
+    @numba.njit(cache=True, fastmath=False)
+    def cross_min_sq(segs_a, segs_b):
+        best = 1.7976931348623157e308
+        for i in range(segs_a.shape[0]):
+            ax = segs_a[i, 0]
+            ay = segs_a[i, 1]
+            bx = segs_a[i, 2]
+            by = segs_a[i, 3]
+            for j in range(segs_b.shape[0]):
+                cx = segs_b[j, 0]
+                cy = segs_b[j, 1]
+                dx = segs_b[j, 2]
+                dy = segs_b[j, 3]
+                d1x = bx - ax
+                d1y = by - ay
+                d2x = dx - cx
+                d2y = dy - cy
+                rx = ax - cx
+                ry = ay - cy
+                a = d1x * d1x + d1y * d1y
+                e = d2x * d2x + d2y * d2y
+                f = d2x * rx + d2y * ry
+                if a <= 0.0 and e <= 0.0:
+                    d = rx * rx + ry * ry
+                elif a <= 0.0:
+                    t = f / e
+                    if t < 0.0:
+                        t = 0.0
+                    elif t > 1.0:
+                        t = 1.0
+                    gx = ax - (cx + d2x * t)
+                    gy = ay - (cy + d2y * t)
+                    d = gx * gx + gy * gy
+                else:
+                    c = d1x * rx + d1y * ry
+                    if e <= 0.0:
+                        t = 0.0
+                        s = -c / a
+                        if s < 0.0:
+                            s = 0.0
+                        elif s > 1.0:
+                            s = 1.0
+                    else:
+                        b = d1x * d2x + d1y * d2y
+                        denom = a * e - b * b
+                        if denom != 0.0:
+                            s = (b * f - c * e) / denom
+                            if s < 0.0:
+                                s = 0.0
+                            elif s > 1.0:
+                                s = 1.0
+                        else:
+                            s = 0.0
+                        t = b * s + f
+                        if t < 0.0:
+                            t = 0.0
+                            s = -c / a
+                            if s < 0.0:
+                                s = 0.0
+                            elif s > 1.0:
+                                s = 1.0
+                        elif t > e:
+                            t = 1.0
+                            s = (b - c) / a
+                            if s < 0.0:
+                                s = 0.0
+                            elif s > 1.0:
+                                s = 1.0
+                        else:
+                            t = t / e
+                    gx = (ax + d1x * s) - (cx + d2x * t)
+                    gy = (ay + d1y * s) - (cy + d2y * t)
+                    d = gx * gx + gy * gy
+                if d < best:
+                    best = d
+                if best == 0.0:
+                    return 0.0
+        return best
+
+    return cross_min_sq

@@ -1,7 +1,7 @@
 """Thread-safe LRU cache of built spatial indexes.
 
 The cache maps an :class:`IndexKey` — (dataset fingerprint, algorithm,
-config, backend, ε) — to the :class:`~repro.joins.base.BuiltIndex` the
+config, backend, ε, geometry) — to the :class:`~repro.joins.base.BuiltIndex` the
 algorithm prepared for that exact combination.  Concurrent consumers are
 safe: lookups and insertions hold one lock, and a per-key build lock
 makes racing cold queries for the same key build the index exactly once
@@ -37,7 +37,9 @@ class IndexKey:
     (the same normalisation as
     :class:`~repro.joins.registry.AlgorithmSpec`); ``backend`` is kept
     out of ``config`` so a backend switch is visibly a different key
-    even for algorithms that ignore the parameter.
+    even for algorithms that ignore the parameter.  ``geometry``
+    ("mbr" or "exact") keeps MBR-only and filter-refine entries from
+    colliding; it defaults to "mbr" so pre-refinement keys are stable.
     """
 
     fingerprint: str
@@ -45,6 +47,7 @@ class IndexKey:
     config: tuple
     backend: str
     epsilon: float
+    geometry: str = "mbr"
 
     @classmethod
     def create(
@@ -54,6 +57,7 @@ class IndexKey:
         config: dict,
         backend: str | None,
         epsilon: float,
+        geometry: str = "mbr",
     ) -> "IndexKey":
         epsilon = float(epsilon)
         if not math.isfinite(epsilon) or epsilon < 0:
@@ -71,6 +75,7 @@ class IndexKey:
             config=tuple(sorted(config.items())),
             backend=backend or "default",
             epsilon=epsilon,
+            geometry=geometry or "mbr",
         )
 
 

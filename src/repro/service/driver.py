@@ -14,7 +14,10 @@ import time
 from typing import Sequence
 
 from repro.geometry.objects import SpatialObject
+from repro.geometry.vertex_table import shape_of
+from repro.joins.base import JoinResult
 from repro.joins.registry import make_algorithm
+from repro.refine import RefinePipeline
 from repro.service.service import SpatialQueryService
 
 __all__ = ["probe_batches", "run_serve_workload"]
@@ -57,6 +60,7 @@ def run_serve_workload(
     batch: int | None = None,
     compare_rebuild: bool = False,
     service: SpatialQueryService | None = None,
+    geometry: str | None = None,
     **config,
 ) -> dict:
     """Play a build-once/probe-many workload; return a flat summary.
@@ -69,6 +73,13 @@ def run_serve_workload(
     is **asserted identical** between the two paths — the sequential
     path is the ground truth, so the speedup is only reported when it
     cannot have come from dropping pairs.
+
+    ``geometry`` is an explicit parameter (not part of ``**config``)
+    because the rebuild path forwards ``config`` verbatim to
+    :func:`~repro.joins.registry.make_algorithm`, which owns no such
+    knob; with ``geometry="exact"`` the rebuild reference attaches
+    shapes *before* ε-inflation and refines each one-shot result, so
+    the parity assertion compares exact against exact.
     """
     service = service or SpatialQueryService(capacity=4)
     service.register("build", dataset_a)
@@ -78,7 +89,14 @@ def run_serve_workload(
     serve_start = time.perf_counter()
     for chunk in batches:
         served.append(
-            service.query("build", chunk, epsilon, algorithm=algorithm, **config)
+            service.query(
+                "build",
+                chunk,
+                epsilon,
+                algorithm=algorithm,
+                geometry=geometry,
+                **config,
+            )
         )
     serve_seconds = time.perf_counter() - serve_start
 
@@ -100,14 +118,34 @@ def run_serve_workload(
     }
 
     if compare_rebuild:
-        build_side = [obj.inflated(epsilon) for obj in dataset_a]
+        exact = geometry == "exact"
+        source = dataset_a
+        if exact:
+            # Shapes must ride the build side *before* ε-inflation: a
+            # shape-less object refines as a solid box over its MBR, and
+            # after inflation that box would over-approximate the true
+            # extent.  ``inflated()`` carries the attached shape through
+            # unchanged, so the refine stage sees original geometry.
+            source = [
+                SpatialObject(obj.oid, obj.mbr, shape_of(obj))
+                for obj in dataset_a
+            ]
+        build_side = [obj.inflated(epsilon) for obj in source]
         rebuild_pairs = 0
         rebuild_comparisons = 0
         rebuild_start = time.perf_counter()
         rebuild_results = []
         for chunk in batches:
             one_shot = make_algorithm(algorithm, **config)
-            rebuild_results.append(one_shot.join(build_side, chunk))
+            result = one_shot.join(build_side, chunk)
+            if exact:
+                refined = RefinePipeline(
+                    epsilon, backend=config.get("backend") or "auto"
+                ).refine(result.pairs, build_side, chunk, stats=result.stats)
+                result = JoinResult(
+                    result.algorithm, refined, result.stats, result.parameters
+                )
+            rebuild_results.append(result)
         rebuild_seconds = time.perf_counter() - rebuild_start
         for index, (cached, fresh) in enumerate(zip(served, rebuild_results)):
             if cached.pair_set() != fresh.pair_set():

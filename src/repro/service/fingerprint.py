@@ -6,6 +6,12 @@ same objects in the same order share a fingerprint regardless of how
 they were constructed (generator, IO round-trip, ``Dataset`` wrapper or
 plain list) and regardless of whether numpy is importable — the columnar
 fast path and the pure-Python fallback pack byte-identical streams.
+
+Exact shape payloads are digested too (position, kind code, vertex
+count, vertices — via one struct format used on every path), so a
+shape-carrying dataset never shares cache entries with the MBR-only
+dataset of the same boxes; datasets without any shapes digest exactly
+as before the filter-refine split, keeping their fingerprints stable.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ def dataset_fingerprint(dataset: Sequence[SpatialObject]) -> str:
         table = CoordinateTable.from_objects(objects)
         digest.update(table.ids.tobytes())
         digest.update(table.coords.tobytes())
+        _digest_shapes(digest, objects)
         return digest.hexdigest()
     dim = objects[0].mbr.dim
     id_pack = struct.Struct("<q").pack
@@ -45,4 +52,28 @@ def dataset_fingerprint(dataset: Sequence[SpatialObject]) -> str:
     for obj in objects:
         mbr = obj.mbr
         digest.update(coord_pack(*mbr.lo, *mbr.hi))
+    _digest_shapes(digest, objects)
     return digest.hexdigest()
+
+
+def _digest_shapes(digest, objects) -> None:
+    """Fold exact shape payloads into the digest (no-op without shapes).
+
+    Struct-packed on every path so numpy availability never changes the
+    digest; shaped positions are encoded explicitly so "shape on object
+    0" and "shape on object 1" never collide.
+    """
+    from repro.geometry.shapes import KIND_CODES, Shape
+
+    header_pack = struct.Struct("<qqq").pack
+    for position, obj in enumerate(objects):
+        shape = obj.geometry
+        if not isinstance(shape, Shape):
+            continue
+        vertices = shape.vertices
+        digest.update(
+            header_pack(position, KIND_CODES[shape.kind], len(vertices))
+        )
+        row_pack = struct.Struct(f"<{len(vertices[0])}d").pack
+        for vertex in vertices:
+            digest.update(row_pack(*vertex))

@@ -23,6 +23,7 @@ import threading
 import time
 from typing import Iterable, Sequence
 
+from repro.bench.config import GEOMETRY_MODES
 from repro.datasets.base import Dataset
 from repro.geometry.columnar import HAVE_NUMPY, CoordinateTable
 from repro.geometry.mbr import MBR
@@ -115,6 +116,7 @@ class SpatialQueryService:
         epsilon: float,
         algorithm: str = "TOUCH",
         max_bytes: int | None = None,
+        geometry: str | None = None,
         **config,
     ) -> JoinResult:
         """Distance-join ``probe`` against a (cached) index over ``dataset``.
@@ -143,6 +145,13 @@ class SpatialQueryService:
         it skips the index cache and runs a spilling
         :class:`~repro.memory.budgeted.BudgetedSpatialJoin` instead.
 
+        ``geometry="exact"`` refines the MBR candidates against the
+        registered objects' exact shapes (MBR-only objects refine as
+        solid boxes) before returning; exact and MBR probes key
+        *different* cache entries, so switching modes never poisons the
+        warm index of the other.  The default (``None``/``"mbr"``)
+        returns MBR candidates exactly as before.
+
         The returned :class:`~repro.joins.base.JoinResult` carries
         ``parameters["cache"]`` (``"warm"`` | ``"cold"`` | ``"spilled"``)
         and ``parameters["build_seconds"]`` of the underlying index.
@@ -160,6 +169,11 @@ class SpatialQueryService:
             raise ValueError(
                 f"epsilon must be finite and non-negative, got {epsilon!r}"
             )
+        geometry = geometry or "mbr"
+        if geometry not in GEOMETRY_MODES:
+            raise ValueError(
+                f"geometry must be one of {GEOMETRY_MODES}, got {geometry!r}"
+            )
         if max_bytes is not None:
             validate_max_bytes(max_bytes)
         budget = max_bytes if max_bytes is not None else self.max_bytes
@@ -172,6 +186,7 @@ class SpatialQueryService:
             config,
             config.get("backend"),
             epsilon,
+            geometry=geometry,
         )
         algo = make_algorithm(algorithm, **config)
 
@@ -184,7 +199,13 @@ class SpatialQueryService:
                 )
                 if estimated > budget:
                     return self._budgeted_probe(
-                        objects, probe_objects, epsilon, algorithm, budget, config
+                        objects,
+                        probe_objects,
+                        epsilon,
+                        algorithm,
+                        budget,
+                        config,
+                        geometry=geometry,
                     )
             probe = probe_objects
 
@@ -209,7 +230,49 @@ class SpatialQueryService:
             "build_seconds": built.build_seconds,
             "epsilon": epsilon,
         }
+        if geometry == "exact":
+            result = self._refine(
+                result, objects, probe, epsilon, config.get("backend")
+            )
         return result
+
+    def _refine(
+        self,
+        result: JoinResult,
+        objects: "list[SpatialObject]",
+        probe: "list[SpatialObject] | CoordinateTable",
+        epsilon: float,
+        backend: str | None,
+    ) -> JoinResult:
+        """Refine MBR candidates against exact shapes (``geometry="exact"``).
+
+        The build side is the *registered* objects — never the inflated
+        copies the index was built from — so the exact predicate sees
+        original extents.  MBR-batch probes (columnar tables) refine as
+        position-numbered solid boxes, matching their pair numbering.
+        """
+        from repro.refine import RefinePipeline
+
+        if isinstance(probe, CoordinateTable):
+            probe = probe.to_objects()
+        stats = result.stats
+        start = time.perf_counter()
+        refined = RefinePipeline(epsilon, backend=backend or "auto").refine(
+            result.pairs, objects, probe, stats=stats
+        )
+        refine_seconds = time.perf_counter() - start
+        stats.join_seconds += refine_seconds
+        stats.total_seconds += refine_seconds
+        stats.extra["refine_seconds"] = refine_seconds
+        stats.result_pairs = len(refined)
+        with self._lock:
+            self._probe_seconds += refine_seconds
+        return JoinResult(
+            result.algorithm,
+            refined,
+            stats,
+            {**result.parameters, "geometry": "exact"},
+        )
 
     def _budgeted_probe(
         self,
@@ -219,6 +282,7 @@ class SpatialQueryService:
         algorithm: str,
         budget: int,
         config: dict,
+        geometry: str = "mbr",
     ) -> JoinResult:
         """One-shot spilling join for a probe that exceeds the budget.
 
@@ -248,6 +312,10 @@ class SpatialQueryService:
             "max_bytes": budget,
             "spill_dir": joiner.last_spill_dir,
         }
+        if geometry == "exact":
+            result = self._refine(
+                result, objects, probe_objects, epsilon, config.get("backend")
+            )
         return result
 
     @staticmethod
@@ -265,11 +333,18 @@ class SpatialQueryService:
         epsilon: float,
         algorithm: str = "TOUCH",
         max_bytes: int | None = None,
+        geometry: str | None = None,
         **config,
     ) -> JoinResult:
         """Alias for :meth:`probe` with a probe dataset (historical name)."""
         return self.probe(
-            dataset, probe, epsilon, algorithm=algorithm, max_bytes=max_bytes, **config
+            dataset,
+            probe,
+            epsilon,
+            algorithm=algorithm,
+            max_bytes=max_bytes,
+            geometry=geometry,
+            **config,
         )
 
     def probe_mbrs(
@@ -278,13 +353,16 @@ class SpatialQueryService:
         mbrs: Iterable[MBR],
         epsilon: float,
         algorithm: str = "TOUCH",
+        geometry: str | None = None,
         **config,
     ) -> JoinResult:
         """Alias for :meth:`probe` with a raw MBR batch (historical name)."""
         boxes = list(mbrs)
         if not boxes:
             raise ValueError("probe_mbrs requires at least one query MBR")
-        return self.probe(dataset, boxes, epsilon, algorithm=algorithm, **config)
+        return self.probe(
+            dataset, boxes, epsilon, algorithm=algorithm, geometry=geometry, **config
+        )
 
     # -- introspection -------------------------------------------------
     def stats(self) -> dict:

@@ -50,6 +50,7 @@ def run_scatter_workload(
     concurrency: int = 8,
     compare_single: bool = True,
     service: ShardedQueryService | None = None,
+    geometry: str | None = None,
     **config,
 ) -> dict:
     """Play a concurrent probe workload through the sharded tier.
@@ -64,7 +65,10 @@ def run_scatter_workload(
     With ``compare_single`` the identical batches also run through a
     single-process :class:`SpatialQueryService` and each batch's sorted
     pair list is asserted identical — the scatter-gather merge must be
-    exact, not approximate.
+    exact, not approximate.  ``geometry="exact"`` threads the
+    filter–refine mode through both tiers (probe shapes cross the wire
+    as vertex payloads), so the parity assertion compares refined pair
+    sets on both sides.
 
     Returns a flat summary: ``qps``, ``p50_ms`` / ``p99_ms`` /
     ``max_ms``, pair totals, shard fan-out and both tiers' service
@@ -82,7 +86,12 @@ def run_scatter_workload(
 
         # Untimed warm-up: every shard builds its index once, off-clock.
         warmup = service.probe(
-            "build", batches[0], epsilon, algorithm=algorithm, **config
+            "build",
+            batches[0],
+            epsilon,
+            algorithm=algorithm,
+            geometry=geometry,
+            **config,
         )
 
         latencies = [0.0] * len(batches)
@@ -101,6 +110,7 @@ def run_scatter_workload(
                         batches[index],
                         epsilon,
                         algorithm=algorithm,
+                        geometry=geometry,
                         **config,
                     )
                     latencies[index] = loop.time() - started
@@ -146,7 +156,12 @@ def run_scatter_workload(
             single_start = time.perf_counter()
             for index, chunk in enumerate(batches):
                 expected = reference.probe(
-                    "build", chunk, epsilon, algorithm=algorithm, **config
+                    "build",
+                    chunk,
+                    epsilon,
+                    algorithm=algorithm,
+                    geometry=geometry,
+                    **config,
                 )
                 got = results[index]
                 if expected.pair_set() != got.pair_set():

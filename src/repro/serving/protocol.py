@@ -16,17 +16,26 @@ op        request payload
 probe     ``dataset``, ``epsilon``, ``algorithm``, ``config``,
           ``ids`` (probe identifiers), ``boxes`` (``[lo..., hi...]``
           flat corner lists), ``masks`` + ``full_mask`` (two-layer
-          ownership filter; shard workers only)
-register  ``dataset``, ``members`` (``[oid, [lo...], [hi...], mask]``)
+          ownership filter; shard workers only); optionally
+          ``geometry`` (``"exact"`` refines against registered
+          shapes) and ``shapes`` (exact probe payloads parallel to
+          ``boxes``, ``null`` for box-only entries)
+register  ``dataset``, ``members`` (``[oid, [lo...], [hi...], mask]``
+          with an optional fifth element: the member's exact shape
+          payload)
 stats     —
 health    —
 shutdown  —
 ========  ==========================================================
 
-Coordinates travel as JSON numbers; Python's ``json`` emits the
-shortest round-tripping ``repr`` of every float, so corner values
-survive the wire bit-for-bit and the scatter-gather parity against the
-in-process service is exact, not approximate.
+Exact shapes travel as :func:`~repro.geometry.shapes.shape_to_payload`
+rows — ``[kind, dim, [x0, y0, ...]]`` — so polygon and linestring
+probes cross the wire as plain vertex arrays; routing stays by
+ε-inflated MBR either way.  Coordinates travel as JSON numbers;
+Python's ``json`` emits the shortest round-tripping ``repr`` of every
+float, so corner and vertex values survive the wire bit-for-bit and
+the scatter-gather parity against the in-process service is exact, not
+approximate.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ import json
 import socket
 
 from repro.geometry.mbr import MBR
+from repro.geometry.shapes import Shape, shape_from_payload, shape_to_payload
 
 __all__ = [
     "ProtocolError",
@@ -44,6 +54,8 @@ __all__ = [
     "decode_message",
     "encode_boxes",
     "decode_boxes",
+    "encode_shapes",
+    "decode_shapes",
     "send_message",
     "recv_message",
     "SyncConnection",
@@ -97,6 +109,32 @@ def decode_boxes(rows: list[list[float]]) -> "list[MBR]":
         if dim < 1 or len(row) != 2 * dim:
             raise ProtocolError(f"box row of length {len(row)} is not 2*D")
         out.append(MBR(row[:dim], row[dim:]))
+    return out
+
+
+def encode_shapes(shapes: "list[Shape | None]") -> list:
+    """Exact shapes as wire payload rows (``None`` entries pass through)."""
+    return [
+        None if shape is None else shape_to_payload(shape) for shape in shapes
+    ]
+
+
+def decode_shapes(rows: list, ids: "list[int] | None" = None) -> "list[Shape | None]":
+    """Rebuild exact shapes from payload rows.
+
+    ``ids`` (parallel to ``rows``, optional) labels validation errors
+    with the shape's object id.
+    """
+    out = []
+    for position, row in enumerate(rows):
+        if row is None:
+            out.append(None)
+            continue
+        oid = ids[position] if ids is not None else position
+        try:
+            out.append(shape_from_payload(row, oid=oid))
+        except (ValueError, TypeError, KeyError, IndexError) as exc:
+            raise ProtocolError(f"bad shape payload: {exc}") from None
     return out
 
 

@@ -30,16 +30,19 @@ import math
 import threading
 from typing import Iterable, Sequence
 
+from repro.bench.config import GEOMETRY_MODES
 from repro.datasets.base import Dataset
 from repro.geometry.columnar import CoordinateTable
 from repro.geometry.mbr import MBR
 from repro.geometry.objects import SpatialObject
+from repro.geometry.shapes import Shape
 from repro.joins.base import JoinResult, Pair
 from repro.serving.cluster import ServingCluster
 from repro.serving.protocol import (
     MAX_LINE_BYTES,
     RemoteError,
     encode_boxes,
+    encode_shapes,
     recv_message,
     send_message,
 )
@@ -51,6 +54,11 @@ __all__ = ["ShardRouter", "ShardedQueryService", "serve_front"]
 #: Persistent connections kept per shard worker (more are opened on
 #: demand under concurrency and the surplus closed on release).
 POOL_SIZE = 4
+
+
+def _shape_or_none(obj: SpatialObject) -> "Shape | None":
+    """The object's exact shape, if it carries one."""
+    return obj.geometry if isinstance(obj.geometry, Shape) else None
 
 
 class _Pool:
@@ -166,9 +174,14 @@ class ShardRouter:
                 objects, len(self.endpoints), self.kind
             )
         members = self.shard_map.shard_members(objects)
+        # Shape-carrying datasets ship vertex payloads as a fifth member
+        # element so workers can refine exact-mode probes; box-only
+        # datasets keep the original four-element frames byte-for-byte.
+        shaped = any(isinstance(obj.geometry, Shape) for obj in objects)
         payloads = [
             [
                 [obj.oid, list(obj.mbr.lo), list(obj.mbr.hi), mask]
+                + (encode_shapes([_shape_or_none(obj)]) if shaped else [])
                 for obj, mask in shard_members
             ]
             for shard_members in members
@@ -199,24 +212,30 @@ class ShardRouter:
     def _normalize(
         self,
         probe: "MBR | Iterable[MBR] | Sequence[SpatialObject] | CoordinateTable",
-    ) -> tuple[list[int], list[MBR]]:
-        """Any accepted probe shape -> parallel (ids, boxes) lists.
+    ) -> "tuple[list[int], list[MBR], list[Shape | None] | None]":
+        """Any accepted probe shape -> parallel (ids, boxes, shapes) lists.
 
         Mirrors the single-process :meth:`SpatialQueryService.probe`
         dispatch exactly, so pair identifiers match tier-for-tier: raw
         MBR batches pair against 0-based batch positions, object probes
-        against their ``oid``.
+        against their ``oid``.  ``shapes`` is ``None`` unless at least
+        one probe object carries an exact shape — box-only probes keep
+        their wire frames unchanged.
         """
         if isinstance(probe, MBR):
-            return [0], [probe]
+            return [0], [probe], None
         if isinstance(probe, CoordinateTable):
-            return [int(i) for i in probe.ids], [o.mbr for o in probe.to_objects()]
+            ids = [int(i) for i in probe.ids]
+            return ids, [o.mbr for o in probe.to_objects()], None
         items = list(probe)
         if not items:
             raise ValueError("cannot probe with an empty batch")
         if isinstance(items[0], MBR):
-            return list(range(len(items))), items
-        return [obj.oid for obj in items], [obj.mbr for obj in items]
+            return list(range(len(items))), items, None
+        shapes = [_shape_or_none(obj) for obj in items]
+        if all(shape is None for shape in shapes):
+            shapes = None
+        return [obj.oid for obj in items], [obj.mbr for obj in items], shapes
 
     async def probe(
         self,
@@ -224,16 +243,20 @@ class ShardRouter:
         probe: "MBR | Iterable[MBR] | Sequence[SpatialObject] | CoordinateTable",
         epsilon: float,
         algorithm: str = "TOUCH",
+        geometry: str | None = None,
         **config,
     ) -> JoinResult:
         """Scatter a probe batch to its covering shards and merge.
 
         Accepts the same probe shapes as the single-process service and
         returns a :class:`~repro.joins.base.JoinResult` whose pair set
-        is identical to it.  ``parameters`` reports the scatter shape:
-        ``shards_contacted``, aggregate ``cache`` (``"warm"`` only when
-        every contacted shard probed warm) and the summed
-        ``build_seconds``.
+        is identical to it.  ``geometry="exact"`` ships each probe's
+        exact shape (vertex arrays over the wire) alongside its box and
+        the workers refine locally; routing stays by ε-inflated MBR, so
+        the shard map's ownership guarantees are untouched.
+        ``parameters`` reports the scatter shape: ``shards_contacted``,
+        aggregate ``cache`` (``"warm"`` only when every contacted shard
+        probed warm) and the summed ``build_seconds``.
         """
         if dataset not in self._datasets:
             known = ", ".join(sorted(self._datasets)) or "(none)"
@@ -243,39 +266,50 @@ class ShardRouter:
             raise ValueError(
                 f"epsilon must be finite and non-negative, got {epsilon!r}"
             )
-        ids, boxes = self._normalize(probe)
+        if geometry is not None and geometry not in GEOMETRY_MODES:
+            raise ValueError(
+                f"geometry must be one of {GEOMETRY_MODES}, got {geometry!r}"
+            )
+        ids, boxes, shapes = self._normalize(probe)
         per_shard_counts = self._datasets[dataset]["per_shard"]
         scatter: dict[int, dict] = {}
-        for probe_id, box in zip(ids, boxes):
+        for position, (probe_id, box) in enumerate(zip(ids, boxes)):
             inflated = box.expand(epsilon) if epsilon else box
             for shard, mask in self.shard_map.route(inflated):
                 if not per_shard_counts[shard]:
                     continue  # shard owns no build members: no pairs there
                 bucket = scatter.setdefault(
-                    shard, {"ids": [], "boxes": [], "masks": []}
+                    shard, {"ids": [], "boxes": [], "masks": [], "shapes": []}
                 )
                 bucket["ids"].append(probe_id)
                 bucket["boxes"].append(box)
                 bucket["masks"].append(mask)
+                if shapes is not None:
+                    bucket["shapes"].append(shapes[position])
         contacted = sorted(scatter)
+
+        def _frame(shard: int) -> dict:
+            frame = {
+                "op": "probe",
+                "dataset": dataset,
+                "epsilon": epsilon,
+                "algorithm": algorithm,
+                "config": config,
+                "ids": scatter[shard]["ids"],
+                "boxes": encode_boxes(scatter[shard]["boxes"]),
+                "masks": scatter[shard]["masks"],
+                "full_mask": self.shard_map.full_mask,
+            }
+            # Only opted-in probes grow fields, keeping plain MBR
+            # frames byte-identical to the pre-refinement protocol.
+            if geometry is not None:
+                frame["geometry"] = geometry
+            if shapes is not None:
+                frame["shapes"] = encode_shapes(scatter[shard]["shapes"])
+            return frame
+
         responses = await asyncio.gather(
-            *(
-                self._request(
-                    shard,
-                    {
-                        "op": "probe",
-                        "dataset": dataset,
-                        "epsilon": epsilon,
-                        "algorithm": algorithm,
-                        "config": config,
-                        "ids": scatter[shard]["ids"],
-                        "boxes": encode_boxes(scatter[shard]["boxes"]),
-                        "masks": scatter[shard]["masks"],
-                        "full_mask": self.shard_map.full_mask,
-                    },
-                )
-                for shard in contacted
-            )
+            *(self._request(shard, _frame(shard)) for shard in contacted)
         )
         self._probes += 1
         self._subprobes += len(contacted)
@@ -441,13 +475,21 @@ class ShardedQueryService:
         probe: "MBR | Iterable[MBR] | Sequence[SpatialObject] | CoordinateTable",
         epsilon: float,
         algorithm: str = "TOUCH",
+        geometry: str | None = None,
         **config,
     ) -> JoinResult:
         """Scatter-gather probe; same shapes and pairs as the 1-process tier."""
         if isinstance(probe, Dataset):
             probe = list(probe)
         return self._call(
-            self.router.probe(dataset, probe, epsilon, algorithm=algorithm, **config)
+            self.router.probe(
+                dataset,
+                probe,
+                epsilon,
+                algorithm=algorithm,
+                geometry=geometry,
+                **config,
+            )
         )
 
     def query(
@@ -456,10 +498,13 @@ class ShardedQueryService:
         probe: "Sequence[SpatialObject] | CoordinateTable",
         epsilon: float,
         algorithm: str = "TOUCH",
+        geometry: str | None = None,
         **config,
     ) -> JoinResult:
         """Alias for :meth:`probe` (historical single-process name)."""
-        return self.probe(dataset, probe, epsilon, algorithm=algorithm, **config)
+        return self.probe(
+            dataset, probe, epsilon, algorithm=algorithm, geometry=geometry, **config
+        )
 
     def probe_mbrs(
         self,
@@ -467,13 +512,16 @@ class ShardedQueryService:
         mbrs: Iterable[MBR],
         epsilon: float,
         algorithm: str = "TOUCH",
+        geometry: str | None = None,
         **config,
     ) -> JoinResult:
         """Alias for :meth:`probe` with a raw MBR batch (historical name)."""
         boxes = list(mbrs)
         if not boxes:
             raise ValueError("probe_mbrs requires at least one query MBR")
-        return self.probe(dataset, boxes, epsilon, algorithm=algorithm, **config)
+        return self.probe(
+            dataset, boxes, epsilon, algorithm=algorithm, geometry=geometry, **config
+        )
 
     def stats(self) -> dict:
         """Aggregated router + per-shard service statistics."""
@@ -513,13 +561,31 @@ async def serve_front(
                 try:
                     op = request.get("op")
                     if op == "probe":
-                        from repro.serving.protocol import decode_boxes
+                        from repro.serving.protocol import (
+                            decode_boxes,
+                            decode_shapes,
+                        )
 
+                        probe = decode_boxes(request["boxes"])
+                        shape_rows = request.get("shapes")
+                        if shape_rows is not None:
+                            # Exact probes arrive as vertex payloads
+                            # parallel to the boxes; rebuild position-
+                            # numbered objects so pair ids keep the raw
+                            # MBR-batch numbering.
+                            shapes = decode_shapes(shape_rows)
+                            probe = [
+                                SpatialObject(position, box, shape)
+                                for position, (box, shape) in enumerate(
+                                    zip(probe, shapes)
+                                )
+                            ]
                         result = await router.probe(
                             request["dataset"],
-                            decode_boxes(request["boxes"]),
+                            probe,
                             request["epsilon"],
                             algorithm=request.get("algorithm", "TOUCH"),
+                            geometry=request.get("geometry"),
                             **request.get("config", {}),
                         )
                         ids = request.get("ids")

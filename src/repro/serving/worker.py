@@ -38,6 +38,7 @@ from repro.serving.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
     decode_boxes,
+    decode_shapes,
     recv_message,
     send_message,
 )
@@ -67,11 +68,19 @@ class ShardWorker:
     def op_register(self, request: dict) -> dict:
         name = request["dataset"]
         members = request.get("members", [])
-        objects = [
-            SpatialObject(oid, MBR(lo, hi)) for oid, lo, hi, _mask in members
-        ]
+        # Members are [oid, lo, hi, mask] with an optional fifth
+        # element: the replica's exact shape payload (vertex arrays),
+        # kept so exact-mode probes refine against true extents — the
+        # replica MBRs are never inflated, so box fallbacks stay sound.
+        objects = []
+        for member in members:
+            oid, lo, hi, mask = member[:4]
+            shape = None
+            if len(member) > 4 and member[4] is not None:
+                shape = decode_shapes([member[4]], ids=[oid])[0]
+            objects.append(SpatialObject(oid, MBR(lo, hi), shape))
         self.service.register(name, objects)
-        self.masks[name] = {oid: mask for oid, _lo, _hi, mask in members}
+        self.masks[name] = {member[0]: member[3] for member in members}
         return {"ok": True, "shard": self.shard_index, "count": len(objects)}
 
     def op_probe(self, request: dict) -> dict:
@@ -85,11 +94,29 @@ class ShardWorker:
                 f"probe arity mismatch: {len(boxes)} boxes, {len(ids)} ids, "
                 f"{len(probe_masks)} masks"
             )
+        probe = boxes
+        shape_rows = request.get("shapes")
+        if shape_rows is not None:
+            # Exact probe payloads ride parallel to the boxes; entries
+            # without one (null) refine as solid boxes.  Probe objects
+            # take their batch *position* as oid so result pairs keep
+            # the same ``ids[position]`` mapping as raw MBR batches.
+            if len(shape_rows) != len(boxes):
+                raise ProtocolError(
+                    f"probe arity mismatch: {len(boxes)} boxes, "
+                    f"{len(shape_rows)} shapes"
+                )
+            shapes = decode_shapes(shape_rows, ids=ids)
+            probe = [
+                SpatialObject(position, box, shape)
+                for position, (box, shape) in enumerate(zip(boxes, shapes))
+            ]
         result = self.service.probe(
             name,
-            boxes,
+            probe,
             request["epsilon"],
             algorithm=request.get("algorithm", "TOUCH"),
+            geometry=request.get("geometry"),
             **request.get("config", {}),
         )
         build_masks = self.masks[name]

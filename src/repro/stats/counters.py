@@ -57,6 +57,16 @@ class JoinStatistics:
         End-to-end wall-clock duration, including structure building, as
         the paper reports ("the time to build the indexing structures is
         included").
+    candidate_pairs / false_hit_prunes / true_hits / exact_tests /
+    refined_pairs:
+        Filter-refine accounting (``geometry="exact"`` runs only; all
+        stay 0 on pure-MBR workloads).  ``candidate_pairs`` counts pairs
+        entering refinement, ``false_hit_prunes`` the pairs eliminated
+        by the Euclidean MBR-gap prune, ``true_hits`` the pairs accepted
+        via the interior-rectangle shortcut without an exact test,
+        ``exact_tests`` the pairs that needed one, and ``refined_pairs``
+        the survivors.  ``true_hits + exact_tests == candidate_pairs -
+        false_hit_prunes`` holds by construction.
     """
 
     comparisons: int = 0
@@ -66,6 +76,11 @@ class JoinStatistics:
     dedup_checks: int = 0
     filtered: int = 0
     replicated_entries: int = 0
+    candidate_pairs: int = 0
+    false_hit_prunes: int = 0
+    true_hits: int = 0
+    exact_tests: int = 0
+    refined_pairs: int = 0
     memory_bytes: int = 0
     build_seconds: float = 0.0
     assign_seconds: float = 0.0
@@ -96,6 +111,11 @@ class JoinStatistics:
         self.dedup_checks += other.dedup_checks
         self.filtered += other.filtered
         self.replicated_entries += other.replicated_entries
+        self.candidate_pairs += other.candidate_pairs
+        self.false_hit_prunes += other.false_hit_prunes
+        self.true_hits += other.true_hits
+        self.exact_tests += other.exact_tests
+        self.refined_pairs += other.refined_pairs
         self.memory_bytes = max(self.memory_bytes, other.memory_bytes)
         self.build_seconds += other.build_seconds
         self.assign_seconds += other.assign_seconds
@@ -112,6 +132,11 @@ class JoinStatistics:
             "dedup_checks": self.dedup_checks,
             "filtered": self.filtered,
             "replicated_entries": self.replicated_entries,
+            "candidate_pairs": self.candidate_pairs,
+            "false_hit_prunes": self.false_hit_prunes,
+            "true_hits": self.true_hits,
+            "exact_tests": self.exact_tests,
+            "refined_pairs": self.refined_pairs,
             "memory_bytes": self.memory_bytes,
             "build_seconds": self.build_seconds,
             "assign_seconds": self.assign_seconds,

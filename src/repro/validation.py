@@ -15,6 +15,7 @@ from repro.joins.base import JoinResult, Pair
 
 __all__ = [
     "brute_force_pairs",
+    "brute_force_exact_pairs",
     "find_duplicates",
     "assert_no_duplicates",
     "assert_matches_ground_truth",
@@ -32,6 +33,34 @@ def brute_force_pairs(
         for b in objects_b:
             if mbr_a.intersects(b.mbr):
                 pairs.add((a.oid, b.oid))
+    return pairs
+
+
+def brute_force_exact_pairs(
+    objects_a: Sequence[SpatialObject],
+    objects_b: Sequence[SpatialObject],
+    epsilon: float,
+) -> set[Pair]:
+    """Ground truth of the exact distance predicate (filter-refine oracle).
+
+    Every pair whose *shapes* lie within Euclidean distance ``epsilon``
+    (``epsilon=0`` degenerates to intersection), evaluated scalar-wise
+    with no MBR filter, no shortcuts and no candidate stage — the set
+    :class:`~repro.refine.RefinePipeline` must reproduce through any
+    registry algorithm and backend.  MBR-only objects count as solid
+    boxes over their MBR (:func:`~repro.geometry.vertex_table.shape_of`).
+    """
+    from repro.geometry.shapes import shape_distance_sq
+    from repro.geometry.vertex_table import shape_of
+
+    threshold = float(epsilon) ** 2
+    shapes_b = [(b.oid, shape_of(b)) for b in objects_b]
+    pairs: set[Pair] = set()
+    for a in objects_a:
+        shape_a = shape_of(a)
+        for oid_b, shape_b in shapes_b:
+            if shape_distance_sq(shape_a, shape_b) <= threshold:
+                pairs.add((a.oid, oid_b))
     return pairs
 
 
