@@ -6,9 +6,12 @@ probe-many workload, the ``serve_load`` sharded scatter-gather
 workload (one row per shard count, qps + p50/p99 in the row extras),
 the ``bench_spill`` memory-governor workload (budgeted joins at a
 quarter of the estimated footprint, spill counters in the row extras),
-and the ``filter_refine`` non-point workload (mbr vs exact TOUCH on
+the ``filter_refine`` non-point workload (mbr vs exact TOUCH on
 the polygon/linestring datasets, refine counters in the row extras),
-and writes a flat ``BENCH_PR<N>.json`` artifact at the repo root — the
+and the ``auto_oracle`` workload (``algorithm="auto"`` raced against
+the fastest explicit variant, pair parity hard-asserted, the
+auto/oracle ratio warn-gated), and writes a flat ``BENCH_PR<N>.json``
+artifact at the repo root — the
 committed point of this PR's performance trajectory.  Row schema
 (stable across PRs, so points are comparable)::
 
@@ -80,6 +83,18 @@ SPILL_DIVISORS = (4,)
 #: Shape workloads tracked by the filter-refine rows (mbr = filter
 #: only, exact = filter + refinement; the counter identity is asserted).
 FILTER_REFINE_DISTRIBUTIONS = ("polygons", "lines")
+
+#: Oracle pool raced against ``algorithm="auto"``: the tracked headline
+#: algorithms plus the finer-grid variants the cost model tends to pick
+#: for one-shot workloads.
+AUTO_ORACLE_POOL = TRAJECTORY_ALGORITHMS + ("PBSM-100", "TwoLayer-100")
+
+#: auto must land within this fraction of the per-workload oracle (the
+#: fastest pool member, timed in the same run); beyond it the script
+#: warns (or fails with --strict).  The margin absorbs auto's real
+#: planning cost — fingerprinting and sketching both datasets — plus
+#: ordinary timing noise.
+AUTO_ORACLE_MARGIN = 0.10
 
 
 def run_figures(scale, backend: str | None) -> list[dict]:
@@ -384,6 +399,145 @@ def run_filter_refine(scale, backend: str | None) -> list[dict]:
     return rows
 
 
+def run_auto_oracle(
+    scale,
+    backend: str | None,
+    cached_oracle: "dict[str, float] | None" = None,
+) -> tuple[list[dict], list[str]]:
+    """Race ``algorithm="auto"`` against a per-workload oracle.
+
+    One-shot Fig-9/Fig-11: auto joins each workload (its wall-clock
+    includes planning), then every :data:`AUTO_ORACLE_POOL` member joins
+    the identical datasets; pair counts are **asserted identical**
+    across all runs, and auto is warn-gated within
+    :data:`AUTO_ORACLE_MARGIN` of the fastest member.  Repeated-probe:
+    the serve loop runs with auto end-to-end — ``compare_rebuild``
+    hard-asserts pair-set parity per batch — gated against the best
+    cached serve timing (``cached_oracle`` maps algorithm → cached
+    seconds from this run's ``repeated_probe`` rows; without one, a
+    TOUCH serve pass is timed as the reference).
+    """
+    rows: list[dict] = []
+    warnings: list[str] = []
+    overrides = {"backend": backend} if backend else {}
+    resolved = backend or "auto"
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    for figure, distribution in TRAJECTORY_FIGURES:
+        dataset_a, dataset_b = synthetic_pair(
+            distribution, scale.large_a, n_b, scale
+        )
+        workload = (
+            f"auto_oracle/{figure}/{distribution}"
+            f"/a{scale.large_a}-b{n_b}/eps{scale.large_epsilon:g}"
+        )
+        start = time.perf_counter()
+        record = run_algorithm(
+            "auto", dataset_a, dataset_b, scale.large_epsilon, **overrides
+        )
+        auto_seconds = time.perf_counter() - start
+        chosen = record.algorithm
+        auto_pairs = record.result_pairs
+        oracle_name, oracle_seconds = "", float("inf")
+        for algorithm in AUTO_ORACLE_POOL:
+            start = time.perf_counter()
+            reference = run_algorithm(
+                algorithm, dataset_a, dataset_b, scale.large_epsilon, **overrides
+            )
+            wall = time.perf_counter() - start
+            if reference.result_pairs != auto_pairs:
+                raise AssertionError(
+                    f"auto ({chosen}) disagrees with {algorithm} on "
+                    f"{workload}: {auto_pairs} vs {reference.result_pairs} pairs"
+                )
+            if wall < oracle_seconds:
+                oracle_name, oracle_seconds = algorithm, wall
+        ratio = auto_seconds / oracle_seconds if oracle_seconds > 0 else 1.0
+        rows.append(
+            {
+                # Keyed as "auto" so the cross-PR comparison tracks the
+                # optimizer itself even when its choice changes.
+                "algorithm": "auto",
+                "backend": resolved,
+                "workload": workload,
+                "seconds": auto_seconds,
+                "pairs": auto_pairs,
+                "chosen": chosen,
+                "oracle_algorithm": oracle_name,
+                "oracle_seconds": oracle_seconds,
+                "oracle_ratio": ratio,
+            }
+        )
+        print(
+            f"  {'auto->' + chosen:14s} {workload:42s} "
+            f"{auto_seconds:8.3f}s  oracle {oracle_name} "
+            f"{oracle_seconds:.3f}s ({ratio:.2f}x, parity asserted)"
+        )
+        if scale.name != "smoke" and ratio > 1.0 + AUTO_ORACLE_MARGIN:
+            warnings.append(
+                f"auto ({chosen}) on {workload} took {ratio:.2f}x the oracle "
+                f"{oracle_name} ({auto_seconds:.3f}s vs {oracle_seconds:.3f}s); "
+                f"margin is {AUTO_ORACLE_MARGIN:.0%}"
+            )
+
+    # Repeated probes: auto through the serve loop, parity per batch.
+    dataset_a, dataset_b = synthetic_pair("uniform", scale.large_a, n_b, scale)
+    summary = run_serve_workload(
+        dataset_a,
+        dataset_b,
+        scale.large_epsilon,
+        algorithm="auto",
+        probes=SERVE_PROBES,
+        compare_rebuild=True,  # hard-asserts pair-set parity per batch
+        **overrides,
+    )
+    workload = (
+        f"auto_oracle/repeated_probe/uniform/a{scale.large_a}-b{n_b}"
+        f"/eps{scale.large_epsilon:g}/q{summary['probes']}"
+    )
+    oracle_name, oracle_seconds = "", float("inf")
+    for name, seconds in (cached_oracle or {}).items():
+        if seconds < oracle_seconds:
+            oracle_name, oracle_seconds = name, seconds
+    if not oracle_name:
+        reference = run_serve_workload(
+            dataset_a,
+            dataset_b,
+            scale.large_epsilon,
+            algorithm="TOUCH",
+            probes=SERVE_PROBES,
+            **overrides,
+        )
+        oracle_name, oracle_seconds = "TOUCH", reference["serve_seconds"]
+    ratio = (
+        summary["serve_seconds"] / oracle_seconds if oracle_seconds > 0 else 1.0
+    )
+    rows.append(
+        {
+            "algorithm": "auto",
+            "backend": resolved,
+            "workload": workload,
+            "seconds": summary["serve_seconds"],
+            "pairs": summary["result_pairs"],
+            "chosen": summary["algorithm"],
+            "oracle_algorithm": oracle_name,
+            "oracle_seconds": oracle_seconds,
+            "oracle_ratio": ratio,
+        }
+    )
+    print(
+        f"  {'auto->' + summary['algorithm']:14s} {workload:42s} "
+        f"{summary['serve_seconds']:8.3f}s  oracle {oracle_name} "
+        f"{oracle_seconds:.3f}s ({ratio:.2f}x, parity asserted)"
+    )
+    if scale.name != "smoke" and ratio > 1.0 + AUTO_ORACLE_MARGIN:
+        warnings.append(
+            f"auto ({summary['algorithm']}) on {workload} took {ratio:.2f}x "
+            f"the cached oracle {oracle_name} ({summary['serve_seconds']:.3f}s "
+            f"vs {oracle_seconds:.3f}s); margin is {AUTO_ORACLE_MARGIN:.0%}"
+        )
+    return rows, warnings
+
+
 def previous_point(
     root: Path, out: Path, current_pr: int | None
 ) -> "tuple[str, dict] | None":
@@ -470,7 +624,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", choices=sorted(SCALES), default="medium")
     parser.add_argument("--backend", default=None, help="geometry backend override")
     parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_PR9.json"), help="trajectory point to write"
+        "--out", type=Path, default=Path("BENCH_PR10.json"), help="trajectory point to write"
     )
     parser.add_argument(
         "--compare-root",
@@ -515,6 +669,16 @@ def main(argv: list[str] | None = None) -> int:
         rows.extend(run_serve_load(scale, args.backend))
         rows.extend(run_spill(scale, args.backend))
         rows.extend(run_filter_refine(scale, args.backend))
+        cached_oracle = {
+            row["algorithm"]: row["seconds"]
+            for row in probe_rows
+            if row["workload"].endswith("/cached")
+        }
+        auto_rows, auto_warnings = run_auto_oracle(
+            scale, args.backend, cached_oracle
+        )
+        rows.extend(auto_rows)
+        warnings.extend(auto_warnings)
 
     point = {
         "schema": "bench-trajectory/v1",

@@ -27,6 +27,7 @@ from repro.datasets import (
 )
 from repro.joins import (
     ALGORITHMS,
+    AlgorithmInfo,
     IndexedNestedLoopJoin,
     JoinResult,
     NestedLoopJoin,
@@ -36,6 +37,7 @@ from repro.joins import (
     S3Join,
     SeededTreeJoin,
     algorithm_names,
+    available,
     make_algorithm,
 )
 from repro.joins.registry import AlgorithmSpec
@@ -75,6 +77,8 @@ __all__ = [
     "SeededTreeJoin",
     "TwoLayerJoin",
     "ALGORITHMS",
+    "AlgorithmInfo",
+    "available",
     "algorithm_names",
     "make_algorithm",
     "AlgorithmSpec",

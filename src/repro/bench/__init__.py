@@ -3,7 +3,7 @@
 from repro.bench.config import DEFAULT_SCALE, SCALES, Scale, current_scale
 from repro.bench.experiments import EXPERIMENTS, ExperimentResult, run_experiment
 from repro.bench.reporting import format_table, print_experiment, save_json
-from repro.bench.runner import RunRecord, run_algorithm
+from repro.bench.runner import RunRecord, explain, run_algorithm
 
 __all__ = [
     "Scale",
@@ -15,6 +15,7 @@ __all__ = [
     "run_experiment",
     "RunRecord",
     "run_algorithm",
+    "explain",
     "format_table",
     "print_experiment",
     "save_json",

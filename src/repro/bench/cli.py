@@ -20,7 +20,7 @@ from repro.bench.config import DEFAULT_SCALE, GEOMETRY_MODES, SCALES
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import print_experiment, save_json
 from repro.geometry.columnar import BACKENDS
-from repro.joins.registry import algorithm_names
+from repro.joins.registry import available
 from repro.parallel.decompose import DECOMPOSE_KINDS
 
 __all__ = ["main", "build_parser"]
@@ -114,6 +114,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-dir", type=Path, default=None, help="write one JSON per experiment"
     )
 
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="show the optimizer's plan for a workload without running "
+        "the join (what algorithm=auto would execute, with the full "
+        "scored candidate list)",
+    )
+    explain_cmd.add_argument("--scale", choices=sorted(SCALES), default=None)
+    explain_cmd.add_argument(
+        "--dataset",
+        default=None,
+        metavar="NAME",
+        help="named workload dataset (uniform | gaussian | clustered | "
+        "polygons | lines | neuro)",
+    )
+    explain_cmd.add_argument(
+        "--distribution",
+        choices=("uniform", "gaussian", "clustered"),
+        default="uniform",
+        help="synthetic workload distribution when --dataset is omitted",
+    )
+    explain_cmd.add_argument(
+        "--algorithm",
+        default="auto",
+        choices=[info.name for info in available()] + ["auto"],
+        help="auto (default) lets the optimizer choose; a concrete name "
+        "pins the algorithm but still shows every candidate's score",
+    )
+    explain_cmd.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="distance threshold (default: scale's eps)",
+    )
+    explain_cmd.add_argument("--backend", **backend_kwargs)
+    explain_cmd.add_argument("--workers", **workers_kwargs)
+    explain_cmd.add_argument("--decompose", **decompose_kwargs)
+    explain_cmd.add_argument("--max-bytes", **max_bytes_kwargs)
+    explain_cmd.add_argument("--geometry", **geometry_kwargs)
+    explain_cmd.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="K",
+        help="candidates shown in the score table (all are in --json)",
+    )
+    explain_cmd.add_argument(
+        "--json", type=Path, default=None, help="also write the plan as JSON"
+    )
+
     serve = sub.add_parser(
         "serve",
         help="drive the build-once/probe-many query service on a "
@@ -156,8 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--algorithm",
         default="TOUCH",
-        choices=algorithm_names(),
-        help="join algorithm whose index the service builds and probes",
+        choices=[info.name for info in available()] + ["auto"],
+        help="join algorithm whose index the service builds and probes "
+        "(auto lets the cost-model optimizer choose per workload)",
     )
     serve.add_argument(
         "--distribution",
@@ -367,6 +417,65 @@ def _cmd_serve_sharded(args, dataset_a, dataset_b, epsilon, overrides) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    """Print the optimizer's plan for a named workload, execution-free."""
+    import json
+
+    from repro.bench.config import RunOptions, current_scale
+    from repro.bench.runner import explain
+    from repro.bench.workloads import named_pair
+
+    scale = current_scale(args.scale)
+    try:
+        dataset_a, dataset_b = named_pair(
+            args.dataset or args.distribution, scale
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    epsilon = args.epsilon if args.epsilon is not None else scale.large_epsilon
+    options = RunOptions(
+        backend=args.backend,
+        workers=args.workers,
+        decompose=args.decompose,
+        max_bytes=args.max_bytes,
+        geometry=args.geometry,
+    )
+    plan = explain(args.algorithm, dataset_a, dataset_b, epsilon, options=options)
+    name = args.dataset or args.distribution
+    print(
+        f"== plan: {name} a{plan.sketch_a.n}-b{plan.sketch_b.n} "
+        f"(scale={scale.name}, eps={epsilon}) =="
+    )
+    execution = (
+        f"{plan.workers} workers over {plan.decompose}"
+        if plan.workers
+        else "sequential"
+    )
+    print(f"   choose {plan.algorithm} [{plan.backend}], {execution}")
+    print(
+        f"   est {plan.cost_seconds:.4g}s, ~{plan.est_result_pairs:.4g} "
+        f"result pairs (calibration {plan.calibration})"
+    )
+    print(f"   {plan.reason}")
+    if plan.pinned:
+        print(f"   pinned by caller: {', '.join(plan.pinned)}")
+    shown = plan.candidates[: args.top] if args.top > 0 else plan.candidates
+    print(f"   candidates (top {len(shown)} of {len(plan.candidates)}):")
+    for candidate in shown:
+        marker = "->" if candidate.chosen else "  "
+        note = f"  ({candidate.note})" if candidate.note else ""
+        print(
+            f"   {marker} {candidate.algorithm:<14} {candidate.backend:<9}"
+            f" {candidate.cost_seconds:12.4g}s{note}"
+        )
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(plan.as_dict(), indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Run a repeated-query workload through the query service."""
     import json
@@ -443,6 +552,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "run":

@@ -962,6 +962,96 @@ def experiment_filter_refine(scale: Scale) -> ExperimentResult:
     return out
 
 
+# --------------------------------------------------------------------------
+# Adaptive optimizer — algorithm="auto" vs the per-workload oracle
+# --------------------------------------------------------------------------
+#: Explicit variants raced against auto: the tracked headline algorithms
+#: plus the finer-grid variants the cost model tends to pick one-shot.
+AUTO_ORACLE_ALGORITHMS = (
+    "TOUCH", "TwoLayer-500", "PBSM-500", "PBSM-100", "TwoLayer-100",
+)
+
+#: Fraction of the oracle's wall-clock auto may exceed before the row is
+#: flagged (``within_margin=False``); never an assertion — CI hardware
+#: timing is too noisy for a hard gate, and the trajectory script owns
+#: the warn-level gating.
+AUTO_ORACLE_MARGIN = 0.10
+
+
+def experiment_auto_oracle(scale: Scale) -> ExperimentResult:
+    """``algorithm="auto"`` vs every explicit variant, parity asserted.
+
+    For each Figure-9/11 workload auto runs first (its row's
+    ``total_seconds`` includes planning — sketching both datasets and
+    scoring the registry), then every :data:`AUTO_ORACLE_ALGORITHMS`
+    member joins the identical datasets.  Pair-count parity across all
+    runs is **hard-asserted** — an optimizer that changes the answer is
+    broken, full stop.  Each auto row records the chosen plan, the
+    per-workload oracle (the fastest explicit variant of the same run)
+    and the auto/oracle wall-clock ratio; ``within_margin`` flags rows
+    beyond :data:`AUTO_ORACLE_MARGIN`, reported rather than asserted
+    because shared CI hardware makes sub-10% timing a coin flip.
+    """
+    out = ExperimentResult(
+        "auto_oracle",
+        'Adaptive optimizer: algorithm="auto" vs the per-workload oracle',
+        notes=(
+            "The cost model must pick a near-oracle variant from dataset "
+            "sketches alone: identical pairs always, wall-clock within "
+            f"{AUTO_ORACLE_MARGIN:.0%} of the fastest explicit variant "
+            "(planning overhead included in auto's time)."
+        ),
+        scale=scale.name,
+    )
+    ambient = current_backend()
+    overrides = {"backend": ambient} if ambient else {}
+    n_b = scale.large_b_steps[len(scale.large_b_steps) // 2]
+    for distribution in ("uniform", "clustered"):
+        dataset_a, dataset_b = synthetic_pair(
+            distribution, scale.large_a, n_b, scale
+        )
+        start = time.perf_counter()
+        auto_record = run_algorithm(
+            "auto", dataset_a, dataset_b, scale.large_epsilon, **overrides
+        )
+        auto_seconds = time.perf_counter() - start
+        references = []
+        for algorithm in AUTO_ORACLE_ALGORITHMS:
+            start = time.perf_counter()
+            record = run_algorithm(
+                algorithm, dataset_a, dataset_b, scale.large_epsilon, **overrides
+            )
+            wall = time.perf_counter() - start
+            if record.result_pairs != auto_record.result_pairs:
+                raise AssertionError(
+                    f"auto ({auto_record.algorithm}) disagrees with "
+                    f"{algorithm} on {distribution}/|B|={n_b}: "
+                    f"{auto_record.result_pairs} vs {record.result_pairs} pairs"
+                )
+            references.append((algorithm, wall, record))
+        oracle_name, oracle_seconds, _ = min(references, key=lambda r: r[1])
+        ratio = auto_seconds / oracle_seconds if oracle_seconds > 0 else 1.0
+        out.add(
+            auto_record,
+            distribution=distribution,
+            mode="auto",
+            chosen=auto_record.algorithm,
+            auto_seconds=auto_seconds,
+            oracle_algorithm=oracle_name,
+            oracle_seconds=oracle_seconds,
+            oracle_ratio=ratio,
+            within_margin=ratio <= 1.0 + AUTO_ORACLE_MARGIN,
+        )
+        for algorithm, wall, record in references:
+            out.add(
+                record,
+                distribution=distribution,
+                mode="explicit",
+                wall_seconds=wall,
+            )
+    return out
+
+
 #: experiment id → definition, in paper order.
 EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "table1": experiment_table1,
@@ -985,6 +1075,7 @@ EXPERIMENTS: dict[str, Callable[[Scale], ExperimentResult]] = {
     "serve_load": experiment_serve_load,
     "bench_spill": experiment_bench_spill,
     "filter_refine": experiment_filter_refine,
+    "auto_oracle": experiment_auto_oracle,
 }
 
 

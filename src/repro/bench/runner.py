@@ -23,6 +23,7 @@ __all__ = [
     "RunRecord",
     "RunOptions",
     "run_algorithm",
+    "explain",
     "use_backend",
     "current_backend",
     "use_parallel",
@@ -372,6 +373,79 @@ def _shaped(objects):
     ]
 
 
+def _plan_run(
+    algorithm_name: str,
+    dataset_a,
+    dataset_b,
+    epsilon: float,
+    resolved: RunOptions,
+    overrides: dict,
+):
+    """One optimizer call shared by ``run_algorithm("auto")`` / :func:`explain`.
+
+    Resolved options that are set act as *pins* the optimizer must
+    respect; everything left ``None`` (backend, workers, decompose,
+    geometry) is chosen by the cost model.
+    """
+    from repro.optimizer import choose_plan, sketch_dataset
+
+    return choose_plan(
+        sketch_dataset(dataset_a),
+        sketch_dataset(dataset_b),
+        float(epsilon),
+        algorithm=None if algorithm_name == "auto" else algorithm_name,
+        backend=overrides.get("backend") or resolved.backend,
+        workers=resolved.workers,
+        decompose=resolved.decompose,
+        geometry=resolved.geometry,
+        reuse_index=bool(resolved.reuse_index),
+        max_bytes=resolved.max_bytes,
+    )
+
+
+def explain(
+    algorithm_name: str,
+    dataset_a: Dataset | Sequence,
+    dataset_b: Dataset | Sequence,
+    epsilon: float,
+    options: RunOptions | None = None,
+    **algorithm_overrides,
+):
+    """The :class:`~repro.optimizer.plan.Plan` for a join, without running it.
+
+    Mirrors :func:`run_algorithm`'s resolution exactly — the same
+    options layering, the same service hand-off under ``reuse_index`` —
+    so the returned plan equals the one an actual
+    ``run_algorithm("auto", ...)`` records in ``extra["plan"]``.
+    ``algorithm_name="auto"`` lets the optimizer choose; a concrete
+    registry name pins the algorithm but still scores every candidate.
+    """
+    resolved = (options or RunOptions()).over(current_options())
+    if resolved.backend is not None and "backend" not in algorithm_overrides:
+        algorithm_overrides = {**algorithm_overrides, "backend": resolved.backend}
+    if resolved.reuse_index:
+        from repro.service import SpatialQueryService, default_service
+
+        service = (
+            resolved.reuse_index
+            if isinstance(resolved.reuse_index, SpatialQueryService)
+            else default_service()
+        )
+        return service.explain(
+            list(dataset_a),
+            list(dataset_b),
+            epsilon,
+            algorithm=algorithm_name,
+            max_bytes=resolved.max_bytes,
+            geometry=resolved.geometry or "mbr",
+            **algorithm_overrides,
+        )
+    return _plan_run(
+        algorithm_name, dataset_a, dataset_b, epsilon, resolved,
+        algorithm_overrides,
+    )
+
+
 def run_algorithm(
     algorithm_name: str,
     dataset_a: Dataset | Sequence,
@@ -419,6 +493,20 @@ def run_algorithm(
     legacy = _legacy_overlay(workers, decompose, dedup, reuse_index)
     if legacy is not None:
         resolved = legacy.over(resolved)
+    plan = None
+    if algorithm_name == "auto" and not resolved.reuse_index:
+        # The reuse_index path plans inside the query service instead
+        # (the service owns the fingerprints and pins sequential probes).
+        plan = _plan_run(
+            algorithm_name, dataset_a, dataset_b, epsilon, resolved,
+            algorithm_overrides,
+        )
+        algorithm_name = plan.algorithm
+        if "backend" not in algorithm_overrides:
+            algorithm_overrides = {**algorithm_overrides, "backend": plan.backend}
+        resolved = RunOptions(
+            workers=plan.workers, decompose=plan.decompose
+        ).over(resolved)
     if resolved.backend is not None and "backend" not in algorithm_overrides:
         algorithm_overrides = {**algorithm_overrides, "backend": resolved.backend}
     exact = (resolved.geometry or "mbr") == "exact"
@@ -459,6 +547,10 @@ def run_algorithm(
         record.extra["index_build_seconds"] = result.parameters.get(
             "build_seconds", 0.0
         )
+        if "plan" in result.stats.extra:
+            # The service records the plan as a nested dict, which the
+            # scalar filter in record_from_result drops; restore it.
+            record.extra["plan"] = result.stats.extra["plan"]
         if exact:
             _add_refine_extras(record, result)
         return record
@@ -509,10 +601,14 @@ def run_algorithm(
         result = _refine_result(
             result, build, probe_b, epsilon, resolved.backend or "auto"
         )
+    if plan is not None:
+        result.stats.extra["plan"] = plan.as_dict()
     dataset_name = dataset_a.name if isinstance(dataset_a, Dataset) else "adhoc"
     record = record_from_result(
         result, dataset_name, len(dataset_a), len(dataset_b), epsilon
     )
+    if plan is not None:
+        record.extra["plan"] = result.stats.extra["plan"]
     if exact:
         _add_refine_extras(record, result)
     return record

@@ -6,7 +6,13 @@ from repro.joins.nested_loop import NestedLoopJoin
 from repro.joins.pbsm import PBSMJoin
 from repro.joins.plane_sweep import PlaneSweepJoin
 from repro.joins.quadtree import QuadtreeJoin
-from repro.joins.registry import ALGORITHMS, algorithm_names, make_algorithm
+from repro.joins.registry import (
+    ALGORITHMS,
+    AlgorithmInfo,
+    algorithm_names,
+    available,
+    make_algorithm,
+)
 from repro.joins.rtree_join import RTreeSyncJoin
 from repro.joins.s3 import S3Join
 from repro.joins.seeded_tree import SeededTreeJoin
@@ -26,6 +32,8 @@ __all__ = [
     "QuadtreeJoin",
     "SSSJJoin",
     "ALGORITHMS",
+    "AlgorithmInfo",
+    "available",
     "algorithm_names",
     "make_algorithm",
 ]

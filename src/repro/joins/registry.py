@@ -17,6 +17,7 @@ universes (see :mod:`repro.bench.config`):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -34,7 +35,9 @@ from repro.joins.sssj import SSSJJoin
 __all__ = [
     "ALGORITHMS",
     "BACKEND_AWARE",
+    "AlgorithmInfo",
     "AlgorithmSpec",
+    "available",
     "make_algorithm",
     "algorithm_names",
     "prepare_aware_names",
@@ -85,23 +88,113 @@ BACKEND_AWARE = frozenset(
 )
 
 
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Structured description of one registered algorithm variant.
+
+    The introspection record behind :func:`available` — what callers
+    (the adaptive optimizer, the CLI, the benchmark sweeps) consult
+    instead of ad-hoc name lists.  ``config`` is the variant's default
+    parameterisation as a sorted item tuple (the same normalisation as
+    :class:`AlgorithmSpec`), so records stay hashable and picklable.
+
+    Attributes
+    ----------
+    name:
+        Registry name, e.g. ``"TwoLayer-500"``.
+    config:
+        The variant's :meth:`~repro.joins.base.SpatialJoinAlgorithm.describe`
+        at default construction, as a sorted ``(key, value)`` tuple.
+    backend_aware:
+        Whether the variant accepts ``backend="object"|"columnar"|...``.
+    prepare_aware:
+        Whether :meth:`~repro.joins.base.SpatialJoinAlgorithm.prepare`
+        builds structures genuinely reused across probes (``False`` for
+        the rebuild-per-probe fallback).
+    estimates_bytes:
+        Whether the variant prices its own footprint (overrides
+        :meth:`~repro.joins.base.SpatialJoinAlgorithm.estimate_bytes`
+        beyond the base-class table costs).
+    """
+
+    name: str
+    config: tuple[tuple[str, object], ...]
+    backend_aware: bool
+    prepare_aware: bool
+    estimates_bytes: bool
+
+    def config_dict(self) -> dict:
+        """The default configuration as a plain mapping."""
+        return dict(self.config)
+
+    def as_dict(self) -> dict:
+        """JSON-safe view (used by reports and the explain surfaces)."""
+        return {
+            "name": self.name,
+            "config": self.config_dict(),
+            "backend_aware": self.backend_aware,
+            "prepare_aware": self.prepare_aware,
+            "estimates_bytes": self.estimates_bytes,
+        }
+
+
+def _info_for(name: str, factory: Callable[..., SpatialJoinAlgorithm]) -> AlgorithmInfo:
+    instance = factory()
+    return AlgorithmInfo(
+        name=name,
+        config=tuple(sorted(instance.describe().items())),
+        backend_aware=name in BACKEND_AWARE,
+        prepare_aware=instance.supports_prepare(),
+        estimates_bytes=type(instance).estimate_bytes
+        is not SpatialJoinAlgorithm.estimate_bytes,
+    )
+
+
+_AVAILABLE_CACHE: tuple[AlgorithmInfo, ...] | None = None
+
+
+def available() -> tuple[AlgorithmInfo, ...]:
+    """One frozen :class:`AlgorithmInfo` per registered variant.
+
+    Replaces the historical name-list helpers: callers filter on the
+    record fields (``info.prepare_aware``, ``info.backend_aware``)
+    instead of maintaining parallel name tuples.  The tuple is built
+    once per process — registry contents are module constants.
+    """
+    global _AVAILABLE_CACHE
+    if _AVAILABLE_CACHE is None:
+        _AVAILABLE_CACHE = tuple(
+            _info_for(name, factory) for name, factory in ALGORITHMS.items()
+        )
+    return _AVAILABLE_CACHE
+
+
 def algorithm_names() -> list[str]:
-    """All registered algorithm names."""
-    return list(ALGORITHMS)
+    """All registered algorithm names.
+
+    .. deprecated:: use ``[info.name for info in available()]``.
+    """
+    warnings.warn(
+        "algorithm_names() is deprecated; use joins.registry.available() "
+        "and read the AlgorithmInfo records",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return [info.name for info in available()]
 
 
 def prepare_aware_names() -> list[str]:
     """Registered algorithms whose index is reused across probes.
 
-    The rest still work through the build/probe lifecycle (and hence
-    through the query service) via the base-class fallback, which
-    rebuilds per probe.
+    .. deprecated:: filter ``available()`` on ``info.prepare_aware``.
     """
-    return [
-        name
-        for name, factory in ALGORITHMS.items()
-        if factory().supports_prepare()
-    ]
+    warnings.warn(
+        "prepare_aware_names() is deprecated; filter "
+        "joins.registry.available() on info.prepare_aware",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return [info.name for info in available() if info.prepare_aware]
 
 
 def make_algorithm(name: str, **overrides) -> SpatialJoinAlgorithm:

@@ -1,0 +1,50 @@
+"""The adaptive optimizer: dataset sketches, cost model, query plans.
+
+``algorithm="auto"`` anywhere in the stack (``run_algorithm``, the
+query service, the sharded tier, the CLI) routes through here:
+
+>>> from repro.optimizer import sketch_dataset, choose_plan
+>>> plan = choose_plan(sketch_dataset(a), sketch_dataset(b), epsilon=5.0)
+>>> plan.algorithm, plan.backend          # doctest: +SKIP
+('TOUCH', 'columnar')
+
+The pieces: :mod:`~repro.optimizer.sketch` computes cheap per-dataset
+statistics (cached by fingerprint), :mod:`~repro.optimizer.cost` scores
+every registry variant with analytic formulas priced by the calibration
+constants in :mod:`~repro.optimizer.calibration`, and the decision is a
+frozen JSON-safe :class:`~repro.optimizer.plan.Plan` that every layer
+reports verbatim (``stats.extra["plan"]``, ``explain()``, the serving
+protocol).
+"""
+
+from repro.optimizer.calibration import DEFAULT_CALIBRATION, fit_from_trajectory
+from repro.optimizer.cost import (
+    choose_plan,
+    expected_pairs,
+    score_candidates,
+    work_units,
+)
+from repro.optimizer.plan import CandidateScore, Plan
+from repro.optimizer.sketch import (
+    HIST_BINS,
+    DatasetSketch,
+    clear_sketch_cache,
+    sketch_dataset,
+    sketch_table,
+)
+
+__all__ = [
+    "DatasetSketch",
+    "sketch_dataset",
+    "sketch_table",
+    "clear_sketch_cache",
+    "HIST_BINS",
+    "CandidateScore",
+    "Plan",
+    "choose_plan",
+    "score_candidates",
+    "work_units",
+    "expected_pairs",
+    "DEFAULT_CALIBRATION",
+    "fit_from_trajectory",
+]

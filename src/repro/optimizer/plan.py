@@ -1,0 +1,165 @@
+"""The first-class query plan: what ``algorithm="auto"`` decided and why.
+
+A :class:`Plan` is a frozen, JSON-safe record of one optimizer decision:
+the chosen algorithm/backend/workers/decompose, the full scored
+candidate list, and the input sketches.  The same object flows through
+every surface — ``explain()`` returns it without executing,
+``stats.extra["plan"]`` records it on the executed join, and the sharded
+tier ships it over the JSON-lines protocol — so a plan produced anywhere
+can be compared for equality with a plan produced anywhere else.
+
+Nothing in a plan is timing- or environment-dependent beyond the
+calibration constants (named by ``calibration`` version), which is what
+makes ``explain() == executed plan`` a testable contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.optimizer.sketch import DatasetSketch
+
+__all__ = ["CandidateScore", "Plan"]
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """One scored registry variant inside a :class:`Plan`.
+
+    ``cost_seconds`` is the calibrated total for the planned context
+    (``build_seconds`` amortised over the expected probe count);
+    ``comparisons`` is the analytic candidate-pair workload driving it.
+    ``note`` carries human-readable penalties ("over memory budget",
+    "rebuilds per probe") that explain a surprising ranking.
+    """
+
+    algorithm: str
+    backend: str
+    cost_seconds: float
+    build_seconds: float
+    probe_seconds: float
+    comparisons: float
+    chosen: bool = False
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "cost_seconds": self.cost_seconds,
+            "build_seconds": self.build_seconds,
+            "probe_seconds": self.probe_seconds,
+            "comparisons": self.comparisons,
+            "chosen": self.chosen,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CandidateScore":
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            backend=str(payload["backend"]),
+            cost_seconds=float(payload["cost_seconds"]),
+            build_seconds=float(payload["build_seconds"]),
+            probe_seconds=float(payload["probe_seconds"]),
+            comparisons=float(payload["comparisons"]),
+            chosen=bool(payload.get("chosen", False)),
+            note=str(payload.get("note", "")),
+        )
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The optimizer's decision for one join (or probe stream).
+
+    Attributes
+    ----------
+    algorithm, backend, workers, decompose, geometry:
+        The execution choice.  ``workers == 0`` means sequential;
+        ``decompose`` is only consulted when ``workers > 0``.
+    epsilon, probes, reuse_index:
+        The planned context: distance threshold, how many probes the
+        build is expected to serve, and whether an index cache is in
+        play (amortising build cost for prepare-aware algorithms).
+    cost_seconds, est_result_pairs:
+        The winning candidate's calibrated estimate and the analytic
+        expected result size.
+    candidates:
+        Every scored variant, sorted cheapest first, exactly one with
+        ``chosen=True``.
+    sketch_a, sketch_b:
+        The input sketches the scores were computed from.
+    reason:
+        One-line human-readable summary of the decision.
+    calibration:
+        Version tag of the constants used (see
+        :mod:`repro.optimizer.calibration`).
+    """
+
+    algorithm: str
+    backend: str
+    workers: int
+    decompose: str
+    geometry: str
+    epsilon: float
+    probes: int
+    reuse_index: bool
+    cost_seconds: float
+    est_result_pairs: float
+    candidates: tuple[CandidateScore, ...]
+    sketch_a: DatasetSketch
+    sketch_b: DatasetSketch
+    reason: str = ""
+    calibration: str = ""
+    pinned: tuple[str, ...] = field(default_factory=tuple)
+
+    def chosen(self) -> CandidateScore:
+        """The winning candidate record."""
+        for candidate in self.candidates:
+            if candidate.chosen:
+                return candidate
+        raise ValueError("plan has no chosen candidate")
+
+    def as_dict(self) -> dict:
+        """Exact JSON-safe view; :meth:`from_dict` restores equality."""
+        return {
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "workers": self.workers,
+            "decompose": self.decompose,
+            "geometry": self.geometry,
+            "epsilon": self.epsilon,
+            "probes": self.probes,
+            "reuse_index": self.reuse_index,
+            "cost_seconds": self.cost_seconds,
+            "est_result_pairs": self.est_result_pairs,
+            "candidates": [c.as_dict() for c in self.candidates],
+            "sketch_a": self.sketch_a.as_dict(),
+            "sketch_b": self.sketch_b.as_dict(),
+            "reason": self.reason,
+            "calibration": self.calibration,
+            "pinned": list(self.pinned),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Plan":
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            backend=str(payload["backend"]),
+            workers=int(payload["workers"]),
+            decompose=str(payload["decompose"]),
+            geometry=str(payload["geometry"]),
+            epsilon=float(payload["epsilon"]),
+            probes=int(payload["probes"]),
+            reuse_index=bool(payload["reuse_index"]),
+            cost_seconds=float(payload["cost_seconds"]),
+            est_result_pairs=float(payload["est_result_pairs"]),
+            candidates=tuple(
+                CandidateScore.from_dict(c) for c in payload["candidates"]
+            ),
+            sketch_a=DatasetSketch.from_dict(payload["sketch_a"]),
+            sketch_b=DatasetSketch.from_dict(payload["sketch_b"]),
+            reason=str(payload.get("reason", "")),
+            calibration=str(payload.get("calibration", "")),
+            pinned=tuple(payload.get("pinned", ())),
+        )

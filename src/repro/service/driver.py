@@ -118,6 +118,13 @@ def run_serve_workload(
     }
 
     if compare_rebuild:
+        # The reference joins need a concrete registry name; when the
+        # service resolved ``"auto"`` per batch, rebuild with its first
+        # choice — parity is pair-set equality, which every correct
+        # variant satisfies regardless of which one the optimizer picked.
+        rebuild_algorithm = (
+            served[0].algorithm if algorithm == "auto" else algorithm
+        )
         exact = geometry == "exact"
         source = dataset_a
         if exact:
@@ -136,7 +143,7 @@ def run_serve_workload(
         rebuild_start = time.perf_counter()
         rebuild_results = []
         for chunk in batches:
-            one_shot = make_algorithm(algorithm, **config)
+            one_shot = make_algorithm(rebuild_algorithm, **config)
             result = one_shot.join(build_side, chunk)
             if exact:
                 refined = RefinePipeline(

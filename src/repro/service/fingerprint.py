@@ -26,11 +26,16 @@ from repro.geometry.objects import SpatialObject
 __all__ = ["dataset_fingerprint"]
 
 
-def dataset_fingerprint(dataset: Sequence[SpatialObject]) -> str:
+def dataset_fingerprint(
+    dataset: Sequence[SpatialObject], table=None
+) -> str:
     """Hex digest identifying a dataset's ids + coordinates.
 
     O(N) — the service computes it once per registered dataset (and per
-    ad-hoc query dataset), not per probe.
+    ad-hoc query dataset), not per probe.  ``table`` may be the
+    dataset's already-materialised :class:`CoordinateTable` — callers
+    that hold one (the optimizer's sketch pass) save the conversion;
+    the digest bytes are identical either way.
     """
     digest = hashlib.sha256()
     objects = dataset if isinstance(dataset, (list, tuple)) else list(dataset)
@@ -39,7 +44,8 @@ def dataset_fingerprint(dataset: Sequence[SpatialObject]) -> str:
     if HAVE_NUMPY:
         from repro.geometry.columnar import CoordinateTable
 
-        table = CoordinateTable.from_objects(objects)
+        if table is None:
+            table = CoordinateTable.from_objects(objects)
         digest.update(table.ids.tobytes())
         digest.update(table.coords.tobytes())
         _digest_shapes(digest, objects)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import threading
 import time
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.bench.config import GEOMETRY_MODES
 from repro.datasets.base import Dataset
@@ -33,6 +33,9 @@ from repro.joins.registry import make_algorithm
 from repro.memory.budget import SpillMetrics, validate_max_bytes
 from repro.service.cache import IndexCache, IndexKey
 from repro.service.fingerprint import dataset_fingerprint
+
+if TYPE_CHECKING:
+    from repro.optimizer.plan import Plan
 
 __all__ = ["SpatialQueryService", "default_service", "reset_default_service"]
 
@@ -152,34 +155,29 @@ class SpatialQueryService:
         warm index of the other.  The default (``None``/``"mbr"``)
         returns MBR candidates exactly as before.
 
+        ``algorithm="auto"`` routes the query through the adaptive
+        optimizer (:mod:`repro.optimizer`): the chosen variant keys the
+        index cache exactly as if it had been requested by name, and the
+        decision is recorded in ``result.stats.extra["plan"]`` — the
+        same :class:`~repro.optimizer.plan.Plan` that :meth:`explain`
+        returns without executing.
+
         The returned :class:`~repro.joins.base.JoinResult` carries
         ``parameters["cache"]`` (``"warm"`` | ``"cold"`` | ``"spilled"``)
         and ``parameters["build_seconds"]`` of the underlying index.
         """
-        if isinstance(probe, MBR):
-            probe = self._mbr_batch([probe])
-        elif not isinstance(probe, (Dataset, CoordinateTable)):
-            items = list(probe)
-            if items and isinstance(items[0], MBR):
-                probe = self._mbr_batch(items)
-            else:
-                probe = items
-        epsilon = float(epsilon)
-        if not math.isfinite(epsilon) or epsilon < 0:
-            raise ValueError(
-                f"epsilon must be finite and non-negative, got {epsilon!r}"
+        probe, epsilon, geometry, budget, objects, fingerprint, config = (
+            self._normalize(dataset, probe, epsilon, geometry, max_bytes, config)
+        )
+        plan = None
+        if algorithm == "auto":
+            plan = self._plan(
+                objects, fingerprint, probe, epsilon, algorithm, config,
+                geometry, budget,
             )
-        geometry = geometry or "mbr"
-        if geometry not in GEOMETRY_MODES:
-            raise ValueError(
-                f"geometry must be one of {GEOMETRY_MODES}, got {geometry!r}"
-            )
-        if max_bytes is not None:
-            validate_max_bytes(max_bytes)
-        budget = max_bytes if max_bytes is not None else self.max_bytes
-        objects, fingerprint = self._resolve(dataset)
-        if "backend" not in config and self.default_backend is not None:
-            config = {**config, "backend": self.default_backend}
+            algorithm = plan.algorithm
+            if "backend" not in config:
+                config = {**config, "backend": plan.backend}
         key = IndexKey.create(
             fingerprint,
             algorithm,
@@ -198,7 +196,7 @@ class SpatialQueryService:
                     len(objects), len(probe_objects), dim
                 )
                 if estimated > budget:
-                    return self._budgeted_probe(
+                    result = self._budgeted_probe(
                         objects,
                         probe_objects,
                         epsilon,
@@ -207,6 +205,9 @@ class SpatialQueryService:
                         config,
                         geometry=geometry,
                     )
+                    if plan is not None:
+                        result.stats.extra["plan"] = plan.as_dict()
+                    return result
             probe = probe_objects
 
         def builder() -> BuiltIndex:
@@ -234,7 +235,100 @@ class SpatialQueryService:
             result = self._refine(
                 result, objects, probe, epsilon, config.get("backend")
             )
+        if plan is not None:
+            result.stats.extra["plan"] = plan.as_dict()
         return result
+
+    def explain(
+        self,
+        dataset: "str | Sequence[SpatialObject]",
+        probe: "MBR | Iterable[MBR] | Sequence[SpatialObject] | CoordinateTable",
+        epsilon: float,
+        algorithm: str = "auto",
+        max_bytes: int | None = None,
+        geometry: str | None = None,
+        **config,
+    ) -> "Plan":
+        """The :class:`~repro.optimizer.plan.Plan` a :meth:`probe` call
+        with the same arguments would execute, without executing it.
+
+        ``algorithm="auto"`` lets the optimizer choose; a concrete name
+        pins the algorithm but still scores every candidate, so the plan
+        shows what auto would have preferred.  The returned plan equals
+        the one an actual ``probe(algorithm="auto")`` records in
+        ``stats.extra["plan"]`` — both run through the same resolution.
+        """
+        probe, epsilon, geometry, budget, objects, fingerprint, config = (
+            self._normalize(dataset, probe, epsilon, geometry, max_bytes, config)
+        )
+        return self._plan(
+            objects, fingerprint, probe, epsilon, algorithm, config,
+            geometry, budget,
+        )
+
+    def _normalize(
+        self, dataset, probe, epsilon, geometry, max_bytes, config
+    ) -> tuple:
+        """Shared argument resolution for :meth:`probe` / :meth:`explain`.
+
+        Normalises the probe payload (single MBR / MBR batch / object
+        sequence), validates ε, geometry and the byte budget, resolves
+        the dataset and folds the service-default backend into
+        ``config`` — one code path, so a plan explained and a plan
+        executed can never disagree on the resolved inputs.
+        """
+        if isinstance(probe, MBR):
+            probe = self._mbr_batch([probe])
+        elif not isinstance(probe, (Dataset, CoordinateTable)):
+            items = list(probe)
+            if items and isinstance(items[0], MBR):
+                probe = self._mbr_batch(items)
+            else:
+                probe = items
+        epsilon = float(epsilon)
+        if not math.isfinite(epsilon) or epsilon < 0:
+            raise ValueError(
+                f"epsilon must be finite and non-negative, got {epsilon!r}"
+            )
+        geometry = geometry or "mbr"
+        if geometry not in GEOMETRY_MODES:
+            raise ValueError(
+                f"geometry must be one of {GEOMETRY_MODES}, got {geometry!r}"
+            )
+        if max_bytes is not None:
+            validate_max_bytes(max_bytes)
+        budget = max_bytes if max_bytes is not None else self.max_bytes
+        objects, fingerprint = self._resolve(dataset)
+        if "backend" not in config and self.default_backend is not None:
+            config = {**config, "backend": self.default_backend}
+        return probe, epsilon, geometry, budget, objects, fingerprint, config
+
+    def _plan(
+        self, objects, fingerprint, probe, epsilon, algorithm, config,
+        geometry, budget,
+    ) -> "Plan":
+        """One optimizer call shared by :meth:`probe` and :meth:`explain`.
+
+        The service always probes sequentially, so ``workers`` is pinned
+        to 0; ``reuse_index=True`` marks the index cache as in play.
+        """
+        from repro.optimizer import choose_plan, sketch_dataset
+
+        sketch_a = sketch_dataset(objects, fingerprint)
+        sketch_b = sketch_dataset(
+            list(probe) if isinstance(probe, Dataset) else probe
+        )
+        return choose_plan(
+            sketch_a,
+            sketch_b,
+            epsilon,
+            algorithm=None if algorithm == "auto" else algorithm,
+            backend=config.get("backend"),
+            workers=0,
+            geometry=geometry,
+            reuse_index=True,
+            max_bytes=budget,
+        )
 
     def _refine(
         self,

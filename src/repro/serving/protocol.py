@@ -20,6 +20,11 @@ probe     ``dataset``, ``epsilon``, ``algorithm``, ``config``,
           ``geometry`` (``"exact"`` refines against registered
           shapes) and ``shapes`` (exact probe payloads parallel to
           ``boxes``, ``null`` for box-only entries)
+explain   same fields as ``probe`` minus ``masks``/``full_mask``;
+          returns the optimizer :class:`~repro.optimizer.plan.Plan`
+          the identical probe would execute (``plan`` from a shard
+          worker, per-shard ``plans`` from the router front-end)
+          without executing it
 register  ``dataset``, ``members`` (``[oid, [lo...], [hi...], mask]``
           with an optional fifth element: the member's exact shape
           payload)

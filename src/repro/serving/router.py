@@ -237,26 +237,18 @@ class ShardRouter:
             shapes = None
         return [obj.oid for obj in items], [obj.mbr for obj in items], shapes
 
-    async def probe(
+    def _scatter(
         self,
         dataset: str,
-        probe: "MBR | Iterable[MBR] | Sequence[SpatialObject] | CoordinateTable",
+        probe,
         epsilon: float,
-        algorithm: str = "TOUCH",
-        geometry: str | None = None,
-        **config,
-    ) -> JoinResult:
-        """Scatter a probe batch to its covering shards and merge.
+        geometry: str | None,
+    ) -> "tuple[float, list[Shape | None] | None, dict[int, dict], list[int]]":
+        """Validate a probe call and bucket it per covering shard.
 
-        Accepts the same probe shapes as the single-process service and
-        returns a :class:`~repro.joins.base.JoinResult` whose pair set
-        is identical to it.  ``geometry="exact"`` ships each probe's
-        exact shape (vertex arrays over the wire) alongside its box and
-        the workers refine locally; routing stays by ε-inflated MBR, so
-        the shard map's ownership guarantees are untouched.
-        ``parameters`` reports the scatter shape: ``shards_contacted``,
-        aggregate ``cache`` (``"warm"`` only when every contacted shard
-        probed warm) and the summed ``build_seconds``.
+        Shared by :meth:`probe` and :meth:`explain` so both route the
+        identical per-shard slices — the precondition for a plan
+        explained over the wire matching the plan a probe executes.
         """
         if dataset not in self._datasets:
             known = ", ".join(sorted(self._datasets)) or "(none)"
@@ -286,7 +278,32 @@ class ShardRouter:
                 bucket["masks"].append(mask)
                 if shapes is not None:
                     bucket["shapes"].append(shapes[position])
-        contacted = sorted(scatter)
+        return epsilon, shapes, scatter, sorted(scatter)
+
+    async def probe(
+        self,
+        dataset: str,
+        probe: "MBR | Iterable[MBR] | Sequence[SpatialObject] | CoordinateTable",
+        epsilon: float,
+        algorithm: str = "TOUCH",
+        geometry: str | None = None,
+        **config,
+    ) -> JoinResult:
+        """Scatter a probe batch to its covering shards and merge.
+
+        Accepts the same probe shapes as the single-process service and
+        returns a :class:`~repro.joins.base.JoinResult` whose pair set
+        is identical to it.  ``geometry="exact"`` ships each probe's
+        exact shape (vertex arrays over the wire) alongside its box and
+        the workers refine locally; routing stays by ε-inflated MBR, so
+        the shard map's ownership guarantees are untouched.
+        ``parameters`` reports the scatter shape: ``shards_contacted``,
+        aggregate ``cache`` (``"warm"`` only when every contacted shard
+        probed warm) and the summed ``build_seconds``.
+        """
+        epsilon, shapes, scatter, contacted = self._scatter(
+            dataset, probe, epsilon, geometry
+        )
 
         def _frame(shard: int) -> dict:
             frame = {
@@ -317,11 +334,14 @@ class ShardRouter:
         stats = JoinStatistics()
         build_seconds = 0.0
         all_warm = bool(responses)
+        plans: dict[str, dict] = {}
         for response in responses:
             pairs.extend((a, b) for a, b in response["pairs"])
             stats.merge(JoinStatistics(**response["stats"]))
             build_seconds += response["build_seconds"]
             all_warm = all_warm and response["cache"] == "warm"
+            if response.get("plan") is not None:
+                plans[str(response["shard"])] = response["plan"]
         stats.result_pairs = len(pairs)
         parameters = {
             "cache": "warm" if all_warm else "cold",
@@ -330,7 +350,59 @@ class ShardRouter:
             "shards_contacted": len(contacted),
             "shards": len(self.endpoints),
         }
+        if plans:
+            # ``algorithm="auto"``: each shard planned from its own
+            # slice sketch; surface every decision, keyed by shard.
+            parameters["plans"] = plans
+            stats.extra["plans"] = plans
         return JoinResult(algorithm, pairs, stats, parameters)
+
+    async def explain(
+        self,
+        dataset: str,
+        probe: "MBR | Iterable[MBR] | Sequence[SpatialObject] | CoordinateTable",
+        epsilon: float,
+        algorithm: str = "auto",
+        geometry: str | None = None,
+        **config,
+    ) -> dict:
+        """Per-shard plans for a probe batch, without executing it.
+
+        Routes exactly like :meth:`probe` and asks each covering shard
+        for the :class:`~repro.optimizer.plan.Plan` its local service
+        would execute on its slice of the batch — shards see different
+        slices, so their choices may legitimately differ.  Returns
+        ``{shard_index: Plan}``.
+        """
+        from repro.optimizer import Plan
+
+        epsilon, shapes, scatter, contacted = self._scatter(
+            dataset, probe, epsilon, geometry
+        )
+
+        def _frame(shard: int) -> dict:
+            frame = {
+                "op": "explain",
+                "dataset": dataset,
+                "epsilon": epsilon,
+                "algorithm": algorithm,
+                "config": config,
+                "ids": scatter[shard]["ids"],
+                "boxes": encode_boxes(scatter[shard]["boxes"]),
+            }
+            if geometry is not None:
+                frame["geometry"] = geometry
+            if shapes is not None:
+                frame["shapes"] = encode_shapes(scatter[shard]["shapes"])
+            return frame
+
+        responses = await asyncio.gather(
+            *(self._request(shard, _frame(shard)) for shard in contacted)
+        )
+        return {
+            response["shard"]: Plan.from_dict(response["plan"])
+            for response in responses
+        }
 
     # -- introspection -------------------------------------------------
     async def stats(self) -> dict:
@@ -492,6 +564,29 @@ class ShardedQueryService:
             )
         )
 
+    def explain(
+        self,
+        dataset: str,
+        probe: "MBR | Iterable[MBR] | Sequence[SpatialObject] | CoordinateTable",
+        epsilon: float,
+        algorithm: str = "auto",
+        geometry: str | None = None,
+        **config,
+    ) -> dict:
+        """Per-shard ``{shard: Plan}`` for a probe, without executing it."""
+        if isinstance(probe, Dataset):
+            probe = list(probe)
+        return self._call(
+            self.router.explain(
+                dataset,
+                probe,
+                epsilon,
+                algorithm=algorithm,
+                geometry=geometry,
+                **config,
+            )
+        )
+
     def query(
         self,
         dataset: str,
@@ -599,6 +694,24 @@ async def serve_front(
                             "pairs": pairs,
                             "stats": result.stats.as_dict(),
                             "parameters": result.parameters,
+                        }
+                    elif op == "explain":
+                        from repro.serving.protocol import decode_boxes
+
+                        plans = await router.explain(
+                            request["dataset"],
+                            decode_boxes(request["boxes"]),
+                            request["epsilon"],
+                            algorithm=request.get("algorithm", "auto"),
+                            geometry=request.get("geometry"),
+                            **request.get("config", {}),
+                        )
+                        response = {
+                            "ok": True,
+                            "plans": {
+                                str(shard): plan.as_dict()
+                                for shard, plan in plans.items()
+                            },
                         }
                     elif op == "stats":
                         response = {"ok": True, "stats": await router.stats()}

@@ -83,16 +83,18 @@ class ShardWorker:
         self.masks[name] = {member[0]: member[3] for member in members}
         return {"ok": True, "shard": self.shard_index, "count": len(objects)}
 
-    def op_probe(self, request: dict) -> dict:
-        name = request["dataset"]
+    def _decode_probe(self, request: dict):
+        """The request's probe payload as the service consumes it.
+
+        Shared by ``op_probe`` and ``op_explain`` so a plan explained
+        over the wire sees exactly the probe the executed probe sees
+        (same boxes, same shape attachment, same position numbering).
+        """
         boxes = decode_boxes(request["boxes"])
         ids = request["ids"]
-        probe_masks = request["masks"]
-        full_mask = request["full_mask"]
-        if not (len(boxes) == len(ids) == len(probe_masks)):
+        if len(boxes) != len(ids):
             raise ProtocolError(
-                f"probe arity mismatch: {len(boxes)} boxes, {len(ids)} ids, "
-                f"{len(probe_masks)} masks"
+                f"probe arity mismatch: {len(boxes)} boxes, {len(ids)} ids"
             )
         probe = boxes
         shape_rows = request.get("shapes")
@@ -111,6 +113,18 @@ class ShardWorker:
                 SpatialObject(position, box, shape)
                 for position, (box, shape) in enumerate(zip(boxes, shapes))
             ]
+        return probe, boxes, ids
+
+    def op_probe(self, request: dict) -> dict:
+        name = request["dataset"]
+        probe, boxes, ids = self._decode_probe(request)
+        probe_masks = request["masks"]
+        full_mask = request["full_mask"]
+        if len(boxes) != len(probe_masks):
+            raise ProtocolError(
+                f"probe arity mismatch: {len(boxes)} boxes, "
+                f"{len(probe_masks)} masks"
+            )
         result = self.service.probe(
             name,
             probe,
@@ -129,13 +143,36 @@ class ShardWorker:
             for oid_a, position in result.pairs
             if build_masks[oid_a] | probe_masks[position] == full_mask
         ]
-        return {
+        response = {
             "ok": True,
             "shard": self.shard_index,
             "pairs": pairs,
             "stats": result.stats.as_dict(),
             "cache": result.parameters.get("cache", ""),
             "build_seconds": result.parameters.get("build_seconds", 0.0),
+        }
+        # ``algorithm="auto"`` probes grow two fields (the shard-local
+        # choice and its plan); named-algorithm frames stay byte-stable.
+        if "plan" in result.stats.extra:
+            response["algorithm"] = result.algorithm
+            response["plan"] = result.stats.extra["plan"]
+        return response
+
+    def op_explain(self, request: dict) -> dict:
+        """The shard-local plan an identical ``probe`` frame would execute."""
+        probe, _boxes, _ids = self._decode_probe(request)
+        plan = self.service.explain(
+            request["dataset"],
+            probe,
+            request["epsilon"],
+            algorithm=request.get("algorithm", "auto"),
+            geometry=request.get("geometry"),
+            **request.get("config", {}),
+        )
+        return {
+            "ok": True,
+            "shard": self.shard_index,
+            "plan": plan.as_dict(),
         }
 
     def op_stats(self, _request: dict) -> dict:

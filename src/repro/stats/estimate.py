@@ -14,8 +14,9 @@ the comparison query optimisers make.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
+from repro.geometry.columnar import CoordinateTable
 from repro.geometry.objects import SpatialObject
 
 __all__ = [
@@ -26,8 +27,21 @@ __all__ = [
 ]
 
 
-def mean_side_lengths(objects: Sequence[SpatialObject]) -> tuple[float, ...]:
-    """Per-dimension mean MBR side length of a non-empty dataset."""
+def mean_side_lengths(
+    objects: Union[Sequence[SpatialObject], CoordinateTable],
+) -> tuple[float, ...]:
+    """Per-dimension mean MBR side length of a non-empty dataset.
+
+    Accepts either a sequence of objects or a :class:`CoordinateTable`
+    directly.  A table is reduced in one vectorised pass over the
+    ``(N, 2D)`` coordinate block; callers that already hold a columnar
+    view (datasets, the optimizer's sketches) should pass it instead of
+    paying the historical per-object Python loop.
+    """
+    if isinstance(objects, CoordinateTable):
+        if not len(objects):
+            raise ValueError("cannot summarise an empty dataset")
+        return tuple(float(s) for s in (objects.hi - objects.lo).mean(axis=0))
     if not objects:
         raise ValueError("cannot summarise an empty dataset")
     dim = objects[0].mbr.dim

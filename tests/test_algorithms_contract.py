@@ -10,10 +10,10 @@ import pytest
 
 from repro.datasets.synthetic import clustered_boxes, uniform_boxes
 from repro.datasets.transform import inflate
-from repro.joins.registry import algorithm_names, make_algorithm
+from repro.joins.registry import available, make_algorithm
 from repro.validation import assert_matches_ground_truth
 
-ALL_ALGORITHMS = algorithm_names()
+ALL_ALGORITHMS = [info.name for info in available()]
 
 
 @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)

@@ -1,0 +1,230 @@
+"""End-to-end contracts of ``algorithm="auto"`` and ``explain()``.
+
+Two properties are pinned across every execution surface — the one-shot
+runner, the build-once/probe-many service, and the shard worker's wire
+handlers:
+
+1. **Parity**: auto returns the same pairs as any explicitly named
+   algorithm on the same workload (the optimizer picks *how*, never
+   *what*).
+2. **Plan equality**: ``explain()`` returns exactly the plan the
+   executed join records in ``stats.extra["plan"]`` — same sketches,
+   same scores, same choice — including after a JSON round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.config import RunOptions
+from repro.bench.runner import explain, run_algorithm
+from repro.datasets.synthetic import clustered_boxes, uniform_boxes
+from repro.joins.registry import make_algorithm
+from repro.optimizer import Plan, clear_sketch_cache
+from repro.service import SpatialQueryService
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_sketch_cache()
+    yield
+    clear_sketch_cache()
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return uniform_boxes(120, seed=31), uniform_boxes(240, seed=32)
+
+
+@pytest.fixture(scope="module")
+def clustered():
+    return (
+        clustered_boxes(120, seed=33, n_clusters=8),
+        clustered_boxes(240, seed=34, n_clusters=8),
+    )
+
+
+EPSILON = 5.0
+
+
+# -- the one-shot runner -----------------------------------------------
+class TestRunnerAuto:
+    def test_auto_matches_explicit_pairs(self, pair):
+        dataset_a, dataset_b = pair
+        auto = run_algorithm("auto", dataset_a, dataset_b, EPSILON)
+        reference = run_algorithm("TOUCH", dataset_a, dataset_b, EPSILON)
+        assert auto.result_pairs == reference.result_pairs
+        assert auto.algorithm != "auto"  # resolved to a concrete variant
+
+    @pytest.mark.parametrize("backend", ["object", "columnar"])
+    def test_auto_parity_per_backend(self, pair, backend):
+        dataset_a, dataset_b = pair
+        auto = run_algorithm(
+            "auto", dataset_a, dataset_b, EPSILON, backend=backend
+        )
+        reference = run_algorithm(
+            "TwoLayer-500", dataset_a, dataset_b, EPSILON, backend=backend
+        )
+        assert auto.result_pairs == reference.result_pairs
+
+    def test_auto_parity_through_parallel_engine(self, pair):
+        dataset_a, dataset_b = pair
+        sequential = run_algorithm("auto", dataset_a, dataset_b, EPSILON)
+        parallel = run_algorithm(
+            "auto",
+            dataset_a,
+            dataset_b,
+            EPSILON,
+            options=RunOptions(workers=2, decompose="slabs"),
+        )
+        assert parallel.result_pairs == sequential.result_pairs
+        assert Plan.from_dict(parallel.extra["plan"]).workers == 2
+
+    def test_executed_plan_recorded_and_equals_explain(self, pair):
+        dataset_a, dataset_b = pair
+        record = run_algorithm("auto", dataset_a, dataset_b, EPSILON)
+        plan = explain("auto", dataset_a, dataset_b, EPSILON)
+        assert Plan.from_dict(record.extra["plan"]) == plan
+        assert record.algorithm == plan.algorithm
+
+    def test_explain_named_algorithm_pins_choice(self, pair):
+        dataset_a, dataset_b = pair
+        plan = explain("NL", dataset_a, dataset_b, EPSILON)
+        assert plan.algorithm == "NL"
+        assert "algorithm" in plan.pinned
+        record = run_algorithm("NL", dataset_a, dataset_b, EPSILON)
+        assert record.result_pairs == run_algorithm(
+            "auto", dataset_a, dataset_b, EPSILON
+        ).result_pairs
+
+    def test_explain_matches_clustered_run(self, clustered):
+        dataset_a, dataset_b = clustered
+        record = run_algorithm("auto", dataset_a, dataset_b, EPSILON)
+        assert Plan.from_dict(record.extra["plan"]) == explain(
+            "auto", dataset_a, dataset_b, EPSILON
+        )
+
+    def test_reuse_index_route_plans_in_service(self, pair):
+        dataset_a, dataset_b = pair
+        service = SpatialQueryService(capacity=4)
+        options = RunOptions(reuse_index=service)
+        record = run_algorithm(
+            "auto", dataset_a, dataset_b, EPSILON, options=options
+        )
+        plan = explain("auto", dataset_a, dataset_b, EPSILON, options=options)
+        assert Plan.from_dict(record.extra["plan"]) == plan
+        assert plan.reuse_index is True
+        again = run_algorithm(
+            "auto", dataset_a, dataset_b, EPSILON, options=options
+        )
+        assert again.extra["cache"] == "warm"
+        assert again.result_pairs == record.result_pairs
+
+
+# -- the query service -------------------------------------------------
+class TestServiceAuto:
+    def test_probe_auto_matches_explicit_pair_set(self, pair):
+        dataset_a, dataset_b = pair
+        service = SpatialQueryService(capacity=4)
+        service.register("build", list(dataset_a))
+        probe = [obj.mbr for obj in list(dataset_b)]
+        auto = service.probe("build", probe, EPSILON, algorithm="auto")
+        explicit = service.probe("build", probe, EPSILON, algorithm="TOUCH")
+        assert auto.pair_set() == explicit.pair_set()
+
+    def test_explain_equals_executed_plan(self, pair):
+        dataset_a, dataset_b = pair
+        service = SpatialQueryService(capacity=4)
+        service.register("build", list(dataset_a))
+        probe = [obj.mbr for obj in list(dataset_b)]
+        plan = service.explain("build", probe, EPSILON)
+        result = service.probe("build", probe, EPSILON, algorithm="auto")
+        assert Plan.from_dict(result.stats.extra["plan"]) == plan
+        assert result.algorithm == plan.algorithm
+
+    def test_repeated_auto_probes_hit_warm_cache(self, pair):
+        dataset_a, dataset_b = pair
+        service = SpatialQueryService(capacity=4)
+        service.register("build", list(dataset_a))
+        probe = [obj.mbr for obj in list(dataset_b)[:50]]
+        first = service.probe("build", probe, EPSILON, algorithm="auto")
+        second = service.probe("build", probe, EPSILON, algorithm="auto")
+        assert first.parameters["cache"] == "cold"
+        assert second.parameters["cache"] == "warm"
+
+    def test_named_probe_records_no_plan(self, pair):
+        dataset_a, dataset_b = pair
+        service = SpatialQueryService(capacity=4)
+        service.register("build", list(dataset_a))
+        probe = [obj.mbr for obj in list(dataset_b)[:50]]
+        result = service.probe("build", probe, EPSILON, algorithm="TOUCH")
+        assert "plan" not in result.stats.extra
+
+
+# -- the shard worker's wire handlers ----------------------------------
+class TestShardedAuto:
+    def _worker(self, dataset_a):
+        from repro.serving.worker import ShardWorker
+
+        worker = ShardWorker(0)
+        worker.op_register(
+            {
+                "op": "register",
+                "dataset": "build",
+                "members": [
+                    [obj.oid, list(obj.mbr.lo), list(obj.mbr.hi), 0]
+                    for obj in dataset_a
+                ],
+            }
+        )
+        return worker
+
+    def _probe_frame(self, dataset_b, algorithm):
+        boxes = [list(obj.mbr.lo) + list(obj.mbr.hi) for obj in dataset_b]
+        return {
+            "op": "probe",
+            "dataset": "build",
+            "epsilon": EPSILON,
+            "algorithm": algorithm,
+            "config": {},
+            "ids": list(range(len(boxes))),
+            "boxes": boxes,
+            "masks": [0] * len(boxes),
+            "full_mask": 0,
+        }
+
+    def test_auto_probe_response_carries_plan(self, pair):
+        dataset_a, dataset_b = pair
+        worker = self._worker(list(dataset_a))
+        probe = list(dataset_b)[:80]
+        auto = worker.op_probe(self._probe_frame(probe, "auto"))
+        explicit = worker.op_probe(self._probe_frame(probe, "TOUCH"))
+        assert sorted(map(tuple, auto["pairs"])) == sorted(
+            map(tuple, explicit["pairs"])
+        )
+        assert auto["algorithm"] == auto["plan"]["algorithm"]
+        assert "plan" not in explicit  # named frames stay byte-stable
+
+    def test_explain_frame_matches_probe_plan_over_json(self, pair):
+        dataset_a, dataset_b = pair
+        worker = self._worker(list(dataset_a))
+        probe = list(dataset_b)[:80]
+        frame = self._probe_frame(probe, "auto")
+        explained = worker.op_explain(
+            {**frame, "op": "explain", "masks": None, "full_mask": None}
+        )
+        executed = worker.op_probe(frame)
+        # Both plans survive the wire (JSON) and compare equal.
+        wire = json.loads(json.dumps(explained["plan"]))
+        assert Plan.from_dict(wire) == Plan.from_dict(executed["plan"])
+
+
+# -- ground truth ------------------------------------------------------
+def test_auto_pairs_match_direct_join(pair):
+    dataset_a, dataset_b = pair
+    auto = run_algorithm("auto", dataset_a, dataset_b, EPSILON)
+    build = [obj.inflated(EPSILON) for obj in list(dataset_a)]
+    direct = make_algorithm("NL").join(build, list(dataset_b))
+    assert auto.result_pairs == len(direct.pairs)

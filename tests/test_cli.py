@@ -54,6 +54,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig9", "--dedup", "hope"])
 
+    def test_explain_flags(self):
+        args = build_parser().parse_args(
+            ["explain", "--scale", "smoke", "--algorithm", "TOUCH", "--top", "3"]
+        )
+        assert args.algorithm == "TOUCH"
+        assert args.top == 3
+        assert build_parser().parse_args(["explain"]).algorithm == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "--algorithm", "MagicJoin"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -88,3 +98,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "sequential" in out
+
+    def test_explain_prints_plan(self, capsys):
+        assert main(["explain", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "candidates" in out
+
+    def test_explain_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "plan.json"
+        assert (
+            main(
+                [
+                    "explain",
+                    "--scale",
+                    "smoke",
+                    "--algorithm",
+                    "TOUCH",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(target.read_text())
+        assert payload["algorithm"] == "TOUCH"
+        assert "algorithm" in payload["pinned"]
+        assert any(c["chosen"] for c in payload["candidates"])
+
+    def test_explain_unknown_dataset_exits_2(self, capsys):
+        assert main(["explain", "--scale", "smoke", "--dataset", "nope"]) == 2
+        assert "known" in capsys.readouterr().err

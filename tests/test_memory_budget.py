@@ -21,7 +21,7 @@ from repro.geometry.columnar import HAVE_NUMPY
 from repro.geometry.mbr import MBR
 from repro.geometry.objects import SpatialObject
 from repro.joins.base import dimensionality
-from repro.joins.registry import algorithm_names, make_algorithm
+from repro.joins.registry import available, make_algorithm
 from repro.memory import (
     BudgetedSpatialJoin,
     MemoryBudget,
@@ -132,7 +132,7 @@ class TestSpillStore:
 
 
 class TestBudgetedParity:
-    @pytest.mark.parametrize("name", algorithm_names())
+    @pytest.mark.parametrize("name", [info.name for info in available()])
     def test_every_algorithm_spills_to_the_same_pairs(self, name, dense_pair):
         a, b = dense_pair
         baseline = make_algorithm(name).join(a, b).pair_set()

@@ -9,7 +9,7 @@ from repro.geometry.columnar import HAVE_NUMPY
 from repro.geometry.mbr import MBR
 from repro.geometry.objects import SpatialObject
 from repro.joins.base import BuiltIndex, SpatialJoinAlgorithm
-from repro.joins.registry import ALGORITHMS, make_algorithm, prepare_aware_names
+from repro.joins.registry import ALGORITHMS, available, make_algorithm
 
 #: Algorithms with a genuinely reusable index.
 PREPARE_AWARE = ("PBSM-500", "PBSM-100", "TwoLayer-500", "TwoLayer-100", "INL", "RTree", "TOUCH")
@@ -34,7 +34,8 @@ def reference_pairs(name: str, build, probe, **overrides):
 
 class TestRegistry:
     def test_prepare_aware_names(self):
-        assert set(prepare_aware_names()) == set(PREPARE_AWARE)
+        aware = {info.name for info in available() if info.prepare_aware}
+        assert aware == set(PREPARE_AWARE)
 
     def test_every_algorithm_supports_the_lifecycle(self, workload):
         build, probe = workload

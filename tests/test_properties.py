@@ -15,7 +15,7 @@ from repro.core.tree import TouchTree
 from repro.geometry.mbr import MBR, total_mbr
 from repro.geometry.objects import SpatialObject
 from repro.grid.uniform import UniformGrid
-from repro.joins.registry import algorithm_names, make_algorithm
+from repro.joins.registry import available, make_algorithm
 from repro.rtree.rtree import RTree
 from repro.rtree.str_pack import str_partition
 from repro.validation import assert_matches_ground_truth, brute_force_pairs
@@ -117,7 +117,7 @@ class TestJoinEquivalence:
         result = TouchJoin(num_partitions=8).join(objects_a, objects_b)
         assert_matches_ground_truth(result, objects_a, objects_b)
 
-    @given(dataset_pair(), st.sampled_from(sorted(algorithm_names())))
+    @given(dataset_pair(), st.sampled_from(sorted(info.name for info in available())))
     @settings(max_examples=30)
     def test_every_algorithm_matches_truth(self, pair, name):
         objects_a, objects_b = pair

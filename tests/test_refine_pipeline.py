@@ -17,7 +17,7 @@ from repro.geometry.columnar import BACKENDS
 from repro.geometry.objects import SpatialObject
 from repro.geometry.shapes import LineString, Point, Polygon
 from repro.geometry.vertex_table import shape_of
-from repro.joins.registry import algorithm_names, make_algorithm
+from repro.joins.registry import available, make_algorithm
 from repro.refine import MissingShapesError, RefinePipeline
 from repro.stats.counters import JoinStatistics
 from repro.validation import brute_force_exact_pairs, brute_force_pairs
@@ -63,7 +63,7 @@ def assert_counter_identity(stats):
 
 
 class TestOracleParityEveryAlgorithmAndBackend:
-    @pytest.mark.parametrize("algorithm", algorithm_names())
+    @pytest.mark.parametrize("algorithm", [info.name for info in available()])
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_matches_brute_force_oracle(self, algorithm, backend):
         objects_a, objects_b = shaped_pair()
@@ -219,7 +219,7 @@ class TestPropertyOracle:
     @given(
         data=shaped_sets(),
         epsilon=st.sampled_from((0.0, 1.0, 5.0)),
-        algorithm=st.sampled_from(sorted(algorithm_names())),
+        algorithm=st.sampled_from(sorted(info.name for info in available())),
         backend=st.sampled_from(BACKENDS),
     )
     def test_pipeline_equals_oracle(self, data, epsilon, algorithm, backend):

@@ -4,13 +4,21 @@ import pytest
 
 from repro.geometry.objects import box_object
 from repro.joins.base import JoinResult, SpatialJoinAlgorithm, dimensionality
-from repro.joins.registry import ALGORITHMS, algorithm_names, make_algorithm
+from repro.joins.registry import (
+    ALGORITHMS,
+    BACKEND_AWARE,
+    AlgorithmInfo,
+    algorithm_names,
+    available,
+    make_algorithm,
+    prepare_aware_names,
+)
 from repro.stats.counters import JoinStatistics
 
 
 class TestRegistry:
     def test_names_cover_paper_evaluation(self):
-        names = set(algorithm_names())
+        names = {info.name for info in available()}
         assert {
             "NL",
             "PS",
@@ -23,7 +31,7 @@ class TestRegistry:
         } <= names
 
     def test_extensions_registered(self):
-        names = set(algorithm_names())
+        names = {info.name for info in available()}
         assert {"SeededTree", "Quadtree", "SSSJ"} <= names
 
     def test_unknown_name(self):
@@ -45,6 +53,52 @@ class TestRegistry:
         assert make_algorithm("S3").fanout == 3
         assert make_algorithm("PBSM-500").name == "PBSM-500"
         assert make_algorithm("PBSM-100").name == "PBSM-100"
+
+
+class TestAvailable:
+    def test_one_record_per_registered_algorithm(self):
+        infos = available()
+        assert [info.name for info in infos] == list(ALGORITHMS)
+        assert all(isinstance(info, AlgorithmInfo) for info in infos)
+
+    def test_records_are_frozen_and_hashable(self):
+        info = available()[0]
+        with pytest.raises(Exception):
+            info.name = "other"
+        assert len({i for i in available()}) == len(available())
+
+    def test_backend_aware_matches_constant(self):
+        aware = {info.name for info in available() if info.backend_aware}
+        assert aware == set(BACKEND_AWARE)
+
+    def test_config_matches_default_describe(self):
+        for info in available():
+            assert info.config_dict() == make_algorithm(info.name).describe()
+
+    def test_as_dict_is_json_safe(self):
+        import json
+
+        for info in available():
+            assert json.loads(json.dumps(info.as_dict()))["name"] == info.name
+
+    def test_touch_estimates_bytes(self):
+        by_name = {info.name: info for info in available()}
+        assert by_name["TOUCH"].estimates_bytes
+
+    def test_same_tuple_returned(self):
+        assert available() is available()
+
+
+class TestDeprecatedHelpers:
+    def test_algorithm_names_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="available"):
+            names = algorithm_names()
+        assert names == [info.name for info in available()]
+
+    def test_prepare_aware_names_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="prepare_aware"):
+            names = prepare_aware_names()
+        assert names == [info.name for info in available() if info.prepare_aware]
 
 
 class TestJoinResult:

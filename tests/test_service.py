@@ -11,7 +11,7 @@ from repro.datasets.base import Dataset
 from repro.datasets.synthetic import uniform_boxes
 from repro.geometry.columnar import HAVE_NUMPY
 from repro.geometry.mbr import MBR
-from repro.joins.registry import make_algorithm, prepare_aware_names
+from repro.joins.registry import available, make_algorithm
 from repro.service import (
     IndexCache,
     IndexKey,
@@ -216,7 +216,10 @@ class TestServiceSemantics:
         assert fingerprint == dataset_fingerprint(list(a))
         assert service.datasets() == {"d": len(a)}
 
-    @pytest.mark.parametrize("algorithm", sorted(prepare_aware_names()))
+    @pytest.mark.parametrize(
+        "algorithm",
+        sorted(info.name for info in available() if info.prepare_aware),
+    )
     def test_parity_per_algorithm(self, algorithm, pair):
         a, b = pair
         service = SpatialQueryService()

@@ -13,15 +13,16 @@ from __future__ import annotations
 import pytest
 
 from repro.datasets.synthetic import uniform_boxes
-from repro.joins.registry import BACKEND_AWARE, algorithm_names
+from repro.joins.registry import available
 from repro.service import SpatialQueryService
 from repro.serving import ShardedQueryService
 
 EPS = 2.5
 
 CASES = []
-for _name in algorithm_names():
-    if _name in BACKEND_AWARE:
+for _info in available():
+    _name = _info.name
+    if _info.backend_aware:
         CASES.append((_name, "object"))
         CASES.append((_name, "columnar"))
     else:
